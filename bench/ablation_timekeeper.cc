@@ -1,0 +1,121 @@
+// Ablation: persistent-timekeeper quality vs time-property enforcement.
+//
+// ARTEMIS (like TICS, InK, Mayfly) "requires keeping track of timestamps,
+// which implies persistent timekeeping helping not to lose the notion of
+// time due to power failures" (Section 4). This bench quantifies that
+// dependency: the same health benchmark under a 6-minute charging delay,
+// with three timekeeper classes. A saturating remanence timekeeper (max
+// measurable outage 30 s) silently under-reports 6-minute outages, so the
+// MITD property never observes the staleness — the application "succeeds"
+// while transmitting stale acceleration data.
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/sim/timekeeper.h"
+
+using namespace artemis;
+using namespace artemis::bench;
+
+namespace {
+
+struct Row {
+  bool completed;
+  int mitd_violations;
+  int stale_sends;  // sends whose true accel-data age exceeded the window
+  SimDuration wall;
+};
+
+// The Figure 5 spec minus maxDuration(send): that property would *also* see
+// the (under-reported but still >100 ms) elapsed time and skip the send,
+// masking the MITD-vs-timekeeper effect this bench isolates.
+const char* kSpec = R"(
+micSense: { maxTries: 10 onFail: skipPath; }
+send: {
+  MITD: 5min dpTask: accel onFail: restartPath maxAttempt: 3 onFail: skipPath Path: 2;
+  collect: 1 dpTask: accel onFail: restartPath Path: 2;
+  collect: 1 dpTask: micSense onFail: restartPath Path: 3;
+}
+calcAvg: {
+  collect: 10 dpTask: bodyTemp onFail: restartPath;
+  dpData: avgTemp Range: [36, 38] onFail: completePath;
+}
+accel: { maxTries: 10 onFail: skipPath; }
+)";
+
+Row RunWith(std::function<std::unique_ptr<OutageTimekeeper>()> make_timekeeper) {
+  HealthApp app = BuildHealthApp();
+  PlatformBuilder platform;
+  platform.WithFixedCharge(kOnBudgetUj, ChargeTime(6));
+  if (make_timekeeper != nullptr) {
+    platform.WithTimekeeper(make_timekeeper());
+  }
+  auto mcu = platform.Build();
+  ArtemisConfig config;
+  config.kernel.max_wall_time = 8 * kHour;
+  auto runtime = ArtemisRuntime::Create(&app.graph, kSpec, mcu.get(), config);
+  if (!runtime.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", runtime.status().ToString().c_str());
+    std::exit(1);
+  }
+  const KernelRunResult result = runtime.value()->Run();
+
+  Row row{};
+  row.completed = result.completed;
+  row.wall = result.finished_at;
+  // Audit the trace with omniscient (true) time: every committed `send` on
+  // path #2 whose true distance from the last accel completion exceeds the
+  // 5-minute window is a stale transmission the monitor failed to stop.
+  SimTime last_accel_end_true = 0;
+  bool accel_seen = false;
+  for (const TraceRecord& r : runtime.value()->kernel().trace().records()) {
+    if (r.kind == TraceKind::kViolation && r.detail.find("MITD") != std::string::npos) {
+      ++row.mitd_violations;
+    }
+    if (r.kind == TraceKind::kTaskEnd && r.task == app.accel) {
+      last_accel_end_true = r.true_time;
+      accel_seen = true;
+    }
+    if (r.kind == TraceKind::kTaskEnd && r.task == app.send && r.path == app.path_resp &&
+        accel_seen) {
+      const SimDuration true_age = r.true_time - last_accel_end_true;
+      if (true_age > 5 * kMinute) {
+        ++row.stale_sends;
+      }
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: persistent timekeeper quality (6 min charging) ===\n\n");
+  std::printf("%-24s %-10s %-16s %-12s %-12s\n", "timekeeper", "done", "MITD violations",
+              "stale sends", "wall");
+
+  struct Config {
+    const char* label;
+    std::function<std::unique_ptr<OutageTimekeeper>()> make;
+  };
+  const Config configs[] = {
+      {"ideal", [] { return std::make_unique<IdealTimekeeper>(); }},
+      {"rtc (1% error)", [] { return std::make_unique<RtcTimekeeper>(0.01); }},
+      {"remanence (max 30s)",
+       [] { return std::make_unique<RemanenceTimekeeper>(30 * kSecond, 0.1); }},
+  };
+  for (const Config& config : configs) {
+    const Row row = RunWith(config.make);
+    std::printf("%-24s %-10s %-16d %-12d %-12s\n", config.label,
+                row.completed ? "yes" : "no", row.mitd_violations, row.stale_sends,
+                FormatDuration(row.wall).c_str());
+  }
+
+  std::printf("\nshape: with honest timekeeping the MITD property fires 3x and stops the\n"
+              "stale path; a saturating remanence timekeeper under-reports 6-minute\n"
+              "outages as 30s, the property never fires, and stale acceleration data is\n"
+              "transmitted silently — time-property monitoring is only as strong as the\n"
+              "persistent clock under it (the paper's Section 4 requirement).\n");
+  return 0;
+}

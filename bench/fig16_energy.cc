@@ -1,0 +1,53 @@
+// Figure 16: energy to complete one run of the health benchmark, for
+// continuous power and intermittent power with 1/2/5/10-minute charging.
+//
+// Expected shape (paper): continuous and short delays — ARTEMIS ~= Mayfly;
+// long delays (beyond the 5-minute MITD) — Mayfly's demand is unbounded
+// (it never completes), while ARTEMIS finishes at roughly 3x its continuous
+// energy (three failed path attempts before the skip).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace artemis;
+using namespace artemis::bench;
+
+namespace {
+
+std::string EnergyCell(const KernelRunResult& result) {
+  if (!result.completed) {
+    return "unbounded (DNF)";
+  }
+  return FormatEnergy(result.stats.TotalEnergy());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 16: energy per completed run ===\n\n");
+  std::printf("%-14s %-20s %-20s\n", "power", "ARTEMIS", "Mayfly");
+
+  const SimDuration give_up = 8 * kHour;
+
+  auto artemis_cont = RunArtemis(PlatformBuilder().WithContinuousPower().Build(), 0);
+  auto mayfly_cont = RunMayfly(PlatformBuilder().WithContinuousPower().Build(), 0);
+  std::printf("%-14s %-20s %-20s\n", "continuous", EnergyCell(artemis_cont.result).c_str(),
+              EnergyCell(mayfly_cont.result).c_str());
+
+  for (const int minutes : {1, 2, 5, 10}) {
+    auto a = RunArtemis(
+        PlatformBuilder().WithFixedCharge(kOnBudgetUj, ChargeTime(minutes)).Build(), give_up);
+    auto m = RunMayfly(
+        PlatformBuilder().WithFixedCharge(kOnBudgetUj, ChargeTime(minutes)).Build(), give_up);
+    std::printf("%-14s %-20s %-20s\n", (std::to_string(minutes) + "min charge").c_str(),
+                EnergyCell(a.result).c_str(), EnergyCell(m.result).c_str());
+  }
+
+  const double continuous = artemis_cont.result.stats.TotalEnergy();
+  auto artemis_10 =
+      RunArtemis(PlatformBuilder().WithFixedCharge(kOnBudgetUj, ChargeTime(10)).Build(),
+                 give_up);
+  std::printf("\nARTEMIS 10min/continuous energy ratio = %.2fx (paper: ~3x)\n",
+              artemis_10.result.stats.TotalEnergy() / continuous);
+  return 0;
+}

@@ -1,0 +1,209 @@
+// Host-side microbenchmarks (google-benchmark) of the framework's moving
+// parts: spec parsing, lowering, monitor stepping (both backends), kernel
+// boundary crossings, code generation, and the simulator primitives.
+//
+// These measure the host implementation, not the simulated MSP430 — the
+// simulated costs are the CostModel's business. They exist to keep the
+// framework itself fast enough for large parameter sweeps.
+#include <benchmark/benchmark.h>
+
+#include "src/apps/health_app.h"
+#include "src/core/builder.h"
+#include "src/core/runtime.h"
+#include "src/ir/codegen_c.h"
+#include "src/ir/lowering.h"
+#include "src/mayfly/mayfly.h"
+#include "src/monitor/builtin.h"
+#include "src/monitor/interp.h"
+#include "src/monitor/monitor_set.h"
+#include "src/spec/app_lang.h"
+#include "src/spec/parser.h"
+#include "src/spec/validator.h"
+
+namespace artemis {
+namespace {
+
+void BM_ParseHealthSpec(benchmark::State& state) {
+  const std::string source = HealthAppSpec();
+  for (auto _ : state) {
+    auto parsed = SpecParser::Parse(source);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * source.size()));
+}
+BENCHMARK(BM_ParseHealthSpec);
+
+void BM_ValidateHealthSpec(benchmark::State& state) {
+  HealthApp app = BuildHealthApp();
+  auto parsed = SpecParser::Parse(HealthAppSpec());
+  for (auto _ : state) {
+    auto result = SpecValidator::Validate(parsed.value(), app.graph);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ValidateHealthSpec);
+
+void BM_LowerHealthSpec(benchmark::State& state) {
+  HealthApp app = BuildHealthApp();
+  auto parsed = SpecParser::Parse(HealthAppSpec());
+  for (auto _ : state) {
+    auto machines = LowerSpec(parsed.value(), app.graph, {});
+    benchmark::DoNotOptimize(machines);
+  }
+}
+BENCHMARK(BM_LowerHealthSpec);
+
+void BM_CodegenHealthSpec(benchmark::State& state) {
+  HealthApp app = BuildHealthApp();
+  auto parsed = SpecParser::Parse(HealthAppSpec());
+  auto machines = LowerSpec(parsed.value(), app.graph, {});
+  const CCodeGenerator generator;
+  for (auto _ : state) {
+    std::string code = generator.Generate(machines.value(), app.graph);
+    benchmark::DoNotOptimize(code);
+  }
+}
+BENCHMARK(BM_CodegenHealthSpec);
+
+MonitorEvent MakeEvent(TaskId task, EventKind kind, SimTime ts) {
+  MonitorEvent e;
+  e.kind = kind;
+  e.task = task;
+  e.timestamp = ts;
+  e.path = 2;
+  e.seq = ts + 1;
+  return e;
+}
+
+void BM_InterpretedMonitorStep(benchmark::State& state) {
+  HealthApp app = BuildHealthApp();
+  auto parsed = SpecParser::Parse(HealthAppSpec());
+  auto machines = LowerSpec(parsed.value(), app.graph, {});
+  InterpretedMonitor monitor(machines.value()[1]);  // MITD(send<-accel)
+  SimTime ts = 0;
+  for (auto _ : state) {
+    MonitorVerdict verdict;
+    monitor.Step(MakeEvent(app.accel, EventKind::kEndTask, ts), &verdict);
+    monitor.Step(MakeEvent(app.send, EventKind::kStartTask, ts + 1000), &verdict);
+    benchmark::DoNotOptimize(verdict);
+    ts += 2000;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_InterpretedMonitorStep);
+
+void BM_BuiltinMonitorStep(benchmark::State& state) {
+  HealthApp app = BuildHealthApp();
+  MitdMonitor monitor("MITD(send<-accel)", app.send, app.accel, 5 * kMinute,
+                      ActionType::kRestartPath, 3, ActionType::kSkipPath, 2);
+  SimTime ts = 0;
+  for (auto _ : state) {
+    MonitorVerdict verdict;
+    monitor.Step(MakeEvent(app.accel, EventKind::kEndTask, ts), &verdict);
+    monitor.Step(MakeEvent(app.send, EventKind::kStartTask, ts + 1000), &verdict);
+    benchmark::DoNotOptimize(verdict);
+    ts += 2000;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_BuiltinMonitorStep);
+
+void BM_HealthAppContinuousRun(benchmark::State& state) {
+  for (auto _ : state) {
+    HealthApp app = BuildHealthApp();
+    auto mcu = PlatformBuilder().WithContinuousPower().Build();
+    ArtemisConfig config;
+    config.kernel.record_trace = false;
+    auto runtime = ArtemisRuntime::Create(&app.graph, HealthAppSpec(), mcu.get(), config);
+    auto result = runtime.value()->Run();
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_HealthAppContinuousRun);
+
+void BM_HealthAppIntermittentRun(benchmark::State& state) {
+  for (auto _ : state) {
+    HealthApp app = BuildHealthApp();
+    auto mcu = PlatformBuilder().WithFixedCharge(19'500.0, 5 * kMinute).Build();
+    ArtemisConfig config;
+    config.kernel.max_wall_time = 8 * kHour;
+    config.kernel.record_trace = false;
+    auto runtime = ArtemisRuntime::Create(&app.graph, HealthAppSpec(), mcu.get(), config);
+    auto result = runtime.value()->Run();
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_HealthAppIntermittentRun);
+
+void BM_MonitorSetDispatch(benchmark::State& state) {
+  HealthApp app = BuildHealthApp();
+  auto parsed = SpecParser::Parse(HealthAppSpec());
+  auto set = std::move(BuildMonitorSet(parsed.value(), app.graph, MonitorBackend::kBuiltin,
+                                       {}, ArbitrationPolicy::kSeverity))
+                 .value();
+  Mcu mcu(std::make_unique<AlwaysOnPowerModel>(), DefaultCostModel());
+  set->HardReset(mcu);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    MonitorEvent e = MakeEvent(app.send, EventKind::kStartTask, ++seq * 1000);
+    e.seq = seq;
+    auto outcome = set->OnEvent(e, mcu);
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MonitorSetDispatch);
+
+void BM_MayflyCheck(benchmark::State& state) {
+  HealthApp app = BuildHealthApp();
+  auto parsed = SpecParser::Parse(HealthAppSpec());
+  auto spec = MayflyFromSpec(parsed.value(), app.graph);
+  MayflyChecker checker;
+  for (MayflyRule& rule : spec.value().rules) {
+    checker.AddRule(std::move(rule));
+  }
+  Mcu mcu(std::make_unique<AlwaysOnPowerModel>(), DefaultCostModel());
+  checker.HardReset(mcu);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    MonitorEvent e = MakeEvent(app.send, EventKind::kStartTask, ++seq * 1000);
+    e.seq = seq;
+    auto outcome = checker.OnEvent(e, mcu);
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MayflyCheck);
+
+void BM_ParseAppDescription(benchmark::State& state) {
+  const std::string source = R"(
+app sensornet {
+  task sense { duration: 30ms; power: 2mW; value: gaussian(21.0, 0.5); monitors: temp; }
+  task pack  { duration: 10ms; power: 660uW; }
+  task radio { duration: 120ms; power: 24mW; }
+  path 1: sense -> pack -> radio;
+}
+)";
+  for (auto _ : state) {
+    auto app = ParseAppDescription(source);
+    benchmark::DoNotOptimize(app);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * source.size()));
+}
+BENCHMARK(BM_ParseAppDescription);
+
+void BM_CapacitorConsume(benchmark::State& state) {
+  CapacitorPowerModel model(CapacitorConfig{}, std::make_unique<ConstantHarvester>(2.0));
+  SimTime now = 0;
+  for (auto _ : state) {
+    ConsumeResult result = model.Consume(now, 10 * kMillisecond, 5.0);
+    benchmark::DoNotOptimize(result);
+    now += 10 * kMillisecond;
+  }
+}
+BENCHMARK(BM_CapacitorConsume);
+
+}  // namespace
+}  // namespace artemis
+
+BENCHMARK_MAIN();

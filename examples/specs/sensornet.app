@@ -1,0 +1,8 @@
+// A text-defined application for `artemisc --app-file` (see
+// src/spec/app_lang.h for the grammar).
+app sensornet {
+  task sense   { duration: 30ms;  power: 2mW;   value: gaussian(21.0, 0.5); monitors: temp; }
+  task pack    { duration: 10ms;  power: 660uW; }
+  task radio   { duration: 120ms; power: 24mW;  }
+  path 1: sense -> pack -> radio;
+}

@@ -1,0 +1,44 @@
+// Activity recognition (AR): the classic intermittent-computing benchmark
+// workload (used by Chain, Alpaca, and the paper's related-work systems).
+// A window of accelerometer samples is featurized and classified
+// (moving/stationary) with a nearest-centroid model; class counts are
+// accumulated and reported over BLE after enough windows.
+//
+//   Path #1: sampleWindow -> featurize -> classify -> count
+//   Path #2: report
+#ifndef SRC_APPS_AR_APP_H_
+#define SRC_APPS_AR_APP_H_
+
+#include <string>
+
+#include "src/kernel/app_graph.h"
+
+namespace artemis {
+
+struct ArApp {
+  AppGraph graph;
+  TaskId sample_window = kInvalidTask;
+  TaskId featurize = kInvalidTask;
+  TaskId classify = kInvalidTask;
+  TaskId count = kInvalidTask;
+  TaskId report = kInvalidTask;
+  PathId path_window = kNoPath;
+  PathId path_report = kNoPath;
+};
+
+struct ArAppOptions {
+  // Fraction of windows that contain motion (drives the class mix).
+  double moving_fraction = 0.4;
+  // Accelerometer samples per window (scales sampleWindow's work).
+  int window_size = 128;
+};
+
+ArApp BuildArApp(const ArAppOptions& options = {});
+
+// Properties: bounded window retries, report requires 4 counted windows,
+// freshness between counting and reporting, and a report deadline.
+std::string ArAppSpec();
+
+}  // namespace artemis
+
+#endif  // SRC_APPS_AR_APP_H_

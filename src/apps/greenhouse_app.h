@@ -1,0 +1,35 @@
+// A second, smaller application: batteryless greenhouse sensing. Exercises
+// the properties the health benchmark does not (period, minEnergy) and is
+// used by the greenhouse example and the property-sweep tests.
+//
+//   Path #1: soilSense -> irrigate
+//   Path #2: lightSense -> aggregate -> report
+#ifndef SRC_APPS_GREENHOUSE_APP_H_
+#define SRC_APPS_GREENHOUSE_APP_H_
+
+#include <string>
+
+#include "src/kernel/app_graph.h"
+
+namespace artemis {
+
+struct GreenhouseApp {
+  AppGraph graph;
+  TaskId soil_sense = kInvalidTask;
+  TaskId irrigate = kInvalidTask;
+  TaskId light_sense = kInvalidTask;
+  TaskId aggregate = kInvalidTask;
+  TaskId report = kInvalidTask;
+  PathId path_soil = kNoPath;
+  PathId path_light = kNoPath;
+};
+
+GreenhouseApp BuildGreenhouseApp();
+
+// Property spec: periodic soil sampling, energy-aware reporting, bounded
+// re-execution, and a data-dependency guard on the soil moisture value.
+std::string GreenhouseSpec();
+
+}  // namespace artemis
+
+#endif  // SRC_APPS_GREENHOUSE_APP_H_

@@ -1,0 +1,30 @@
+#include "src/base/log.h"
+
+#include <cstdio>
+
+namespace artemis {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+void DefaultSink(LogLevel level, const std::string& message) {
+  static const char* const kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+  std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)], message.c_str());
+}
+
+LogSink g_sink = &DefaultSink;
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogSink(LogSink sink) { g_sink = sink != nullptr ? sink : &DefaultSink; }
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (level >= g_level && level != LogLevel::kOff) {
+    g_sink(level, message);
+  }
+}
+
+}  // namespace artemis

@@ -1,0 +1,51 @@
+// Minimal leveled logging used by examples and benches to narrate simulated
+// executions (the Figure 13 style traces). Disabled levels cost one branch.
+#ifndef SRC_BASE_LOG_H_
+#define SRC_BASE_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace artemis {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+// Global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Sink hook: by default messages go to stderr. Tests install a capture sink.
+using LogSink = void (*)(LogLevel, const std::string&);
+void SetLogSink(LogSink sink);
+
+void LogMessage(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace artemis
+
+#define ARTEMIS_LOG(level)                             \
+  if (::artemis::GetLogLevel() <= ::artemis::level)    \
+  ::artemis::LogLine(::artemis::level)
+
+#define ARTEMIS_TRACE() ARTEMIS_LOG(LogLevel::kTrace)
+#define ARTEMIS_INFO() ARTEMIS_LOG(LogLevel::kInfo)
+#define ARTEMIS_WARN() ARTEMIS_LOG(LogLevel::kWarn)
+
+#endif  // SRC_BASE_LOG_H_

@@ -1,0 +1,49 @@
+#include "src/base/rng.h"
+
+#include <cmath>
+
+namespace artemis {
+
+std::uint64_t Rng::NextU64() {
+  state_ += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into the mantissa.
+  return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::uint64_t Rng::UniformU64(std::uint64_t lo, std::uint64_t hi) {
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) {
+    return NextU64();  // Full range requested.
+  }
+  return lo + NextU64() % span;
+}
+
+double Rng::UniformDouble(double lo, double hi) { return lo + NextDouble() * (hi - lo); }
+
+SimDuration Rng::Exponential(SimDuration mean) {
+  double u = NextDouble();
+  if (u <= 0.0) {
+    u = 1e-12;
+  }
+  const double draw = -std::log(u) * static_cast<double>(mean);
+  return static_cast<SimDuration>(draw);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  double u1 = NextDouble();
+  if (u1 <= 0.0) {
+    u1 = 1e-12;
+  }
+  const double u2 = NextDouble();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return mean + stddev * z;
+}
+
+}  // namespace artemis

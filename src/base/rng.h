@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation for reproducible simulation.
+//
+// All stochastic elements of the simulator (harvester noise, stochastic power
+// schedules, workload jitter) draw from an explicitly seeded SplitMix64-based
+// generator so every experiment in bench/ is exactly reproducible.
+#ifndef SRC_BASE_RNG_H_
+#define SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+#include "src/base/time.h"
+
+namespace artemis {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  // Uniform 64-bit value (SplitMix64).
+  std::uint64_t NextU64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t UniformU64(std::uint64_t lo, std::uint64_t hi);
+
+  // Uniform real in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // Exponentially distributed duration with the given mean. Used for
+  // Poisson-arrival power failures.
+  SimDuration Exponential(SimDuration mean);
+
+  // Standard normal via Box-Muller (one value per call, no caching).
+  double Gaussian(double mean, double stddev);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace artemis
+
+#endif  // SRC_BASE_RNG_H_

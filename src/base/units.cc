@@ -1,0 +1,153 @@
+#include "src/base/units.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace artemis {
+namespace {
+
+bool IsUnitChar(char c) { return std::isalpha(static_cast<unsigned char>(c)) != 0; }
+
+}  // namespace
+
+std::optional<SimDuration> ParseDuration(std::string_view text) {
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  std::size_t i = 0;
+  while (i < text.size() && !IsUnitChar(text[i])) {
+    ++i;
+  }
+  std::string_view number = text.substr(0, i);
+  std::string_view unit = text.substr(i);
+  if (number.empty()) {
+    return std::nullopt;
+  }
+
+  // Accept a decimal point in the number part ("1.5s").
+  double value = 0.0;
+  {
+    const char* begin = number.data();
+    const char* end = begin + number.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc() || ptr != end) {
+      return std::nullopt;
+    }
+  }
+  if (value < 0.0) {
+    return std::nullopt;
+  }
+
+  double scale = 0.0;
+  if (unit.empty() || unit == "ms") {
+    scale = static_cast<double>(kMillisecond);
+  } else if (unit == "us") {
+    scale = static_cast<double>(kMicrosecond);
+  } else if (unit == "s" || unit == "sec") {
+    scale = static_cast<double>(kSecond);
+  } else if (unit == "min" || unit == "m") {
+    scale = static_cast<double>(kMinute);
+  } else if (unit == "h") {
+    scale = static_cast<double>(kHour);
+  } else {
+    return std::nullopt;
+  }
+
+  const double ticks = value * scale;
+  if (ticks > 1.8e19) {
+    return std::nullopt;
+  }
+  return static_cast<SimDuration>(ticks);
+}
+
+std::optional<Milliwatts> ParsePower(std::string_view text) {
+  std::size_t i = 0;
+  while (i < text.size() && !IsUnitChar(text[i])) {
+    ++i;
+  }
+  const std::string_view number = text.substr(0, i);
+  const std::string_view unit = text.substr(i);
+  if (number.empty()) {
+    return std::nullopt;
+  }
+  double value = 0.0;
+  {
+    const char* begin = number.data();
+    const char* end = begin + number.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc() || ptr != end || value < 0.0) {
+      return std::nullopt;
+    }
+  }
+  if (unit == "mW") {
+    return value;
+  }
+  if (unit == "uW") {
+    return value / 1000.0;
+  }
+  if (unit == "W") {
+    return value * 1000.0;
+  }
+  return std::nullopt;
+}
+
+std::string DurationLiteral(SimDuration d) {
+  struct Unit {
+    SimDuration ticks;
+    const char* suffix;
+  };
+  static constexpr Unit kUnits[] = {
+      {kHour, "h"}, {kMinute, "min"}, {kSecond, "s"}, {kMillisecond, "ms"}, {kMicrosecond, "us"},
+  };
+  for (const Unit& u : kUnits) {
+    if (d >= u.ticks && d % u.ticks == 0) {
+      return std::to_string(d / u.ticks) + u.suffix;
+    }
+  }
+  return std::to_string(d) + "us";
+}
+
+std::string FormatDuration(SimDuration d) {
+  if (d == 0) {
+    return "0us";
+  }
+  std::string out;
+  struct Part {
+    SimDuration ticks;
+    const char* suffix;
+  };
+  static constexpr Part kParts[] = {
+      {kHour, "h"}, {kMinute, "min"}, {kSecond, "s"}, {kMillisecond, "ms"}, {kMicrosecond, "us"},
+  };
+  int emitted = 0;
+  for (const Part& p : kParts) {
+    if (d >= p.ticks) {
+      const SimDuration n = d / p.ticks;
+      d -= n * p.ticks;
+      out += std::to_string(n);
+      out += p.suffix;
+      if (++emitted == 2) {
+        break;
+      }
+      if (d != 0) {
+        out += ' ';
+      }
+    }
+  }
+  return out;
+}
+
+std::string FormatTimestamp(SimTime t) {
+  const std::uint64_t ms = (t / kMillisecond) % 1000;
+  const std::uint64_t s = (t / kSecond) % 60;
+  const std::uint64_t m = (t / kMinute) % 60;
+  const std::uint64_t h = t / kHour;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "[%02llu:%02llu:%02llu.%03llu]",
+                static_cast<unsigned long long>(h), static_cast<unsigned long long>(m),
+                static_cast<unsigned long long>(s), static_cast<unsigned long long>(ms));
+  return buf;
+}
+
+}  // namespace artemis

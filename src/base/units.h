@@ -1,0 +1,30 @@
+// Conversion between textual duration literals ("5min", "100ms") and
+// microsecond ticks, shared by the property-spec lexer and by tools.
+#ifndef SRC_BASE_UNITS_H_
+#define SRC_BASE_UNITS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/base/time.h"
+
+namespace artemis {
+
+// Parses a duration literal of the form <number><unit> where <unit> is one
+// of us, ms, s, sec, min, h. A bare number is treated as milliseconds (the
+// paper's examples default to ms for maxDuration and use explicit units
+// elsewhere). Returns nullopt on malformed input or overflow.
+std::optional<SimDuration> ParseDuration(std::string_view text);
+
+// Formats the duration implementation used by FormatDuration; exposed here
+// so the spec pretty-printer can round-trip literals ("300000000" -> "5min").
+std::string DurationLiteral(SimDuration d);
+
+// Parses a power literal of the form <number><unit> with unit uW, mW, or W
+// ("9mW", "0.5W"). Returns milliwatts; nullopt on malformed input.
+std::optional<Milliwatts> ParsePower(std::string_view text);
+
+}  // namespace artemis
+
+#endif  // SRC_BASE_UNITS_H_

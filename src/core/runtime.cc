@@ -1,0 +1,63 @@
+#include "src/core/runtime.h"
+
+#include "src/sim/cost_model.h"
+#include "src/spec/parser.h"
+#include "src/spec/validator.h"
+
+namespace artemis {
+
+ArtemisRuntime::ArtemisRuntime(const AppGraph* graph, SpecAst spec, Mcu* mcu,
+                               std::unique_ptr<MonitorSet> monitors,
+                               std::vector<std::string> warnings, const ArtemisConfig& config)
+    : graph_(graph),
+      spec_(std::move(spec)),
+      mcu_(mcu),
+      monitors_(std::move(monitors)),
+      warnings_(std::move(warnings)) {
+  kernel_ = std::make_unique<IntermittentKernel>(graph_, monitors_.get(), mcu_, config.kernel);
+}
+
+StatusOr<std::unique_ptr<ArtemisRuntime>> ArtemisRuntime::Create(const AppGraph* graph,
+                                                                 std::string_view spec_source,
+                                                                 Mcu* mcu,
+                                                                 const ArtemisConfig& config) {
+  StatusOr<SpecAst> parsed = SpecParser::Parse(spec_source);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  return CreateFromAst(graph, parsed.value(), mcu, config);
+}
+
+StatusOr<std::unique_ptr<ArtemisRuntime>> ArtemisRuntime::CreateFromAst(
+    const AppGraph* graph, const SpecAst& spec, Mcu* mcu, const ArtemisConfig& config) {
+  if (const Status status = graph->Validate(); !status.ok()) {
+    return status;
+  }
+  ValidationResult validation = SpecValidator::Validate(spec, *graph);
+  if (!validation.ok()) {
+    return validation.status;
+  }
+  if (config.warnings_are_errors && !validation.warnings.empty()) {
+    return Status::FailedPrecondition("spec has validation warnings: " +
+                                      validation.warnings.front());
+  }
+  const MonitorSetOptions monitor_options{
+      .policy = config.arbitration, .placement = config.placement, .radio = config.radio};
+  StatusOr<std::unique_ptr<MonitorSet>> monitors =
+      BuildMonitorSet(spec, *graph, config.backend, config.lowering, monitor_options);
+  if (!monitors.ok()) {
+    return monitors.status();
+  }
+  return std::unique_ptr<ArtemisRuntime>(
+      new ArtemisRuntime(graph, spec, mcu, std::move(monitors).value(),
+                         std::move(validation.warnings), config));
+}
+
+KernelRunResult ArtemisRuntime::Run() { return kernel_->Run(); }
+
+std::size_t ArtemisRuntime::RuntimeTextBytes() {
+  const CostModel& costs = DefaultCostModel();
+  return costs.text_kernel_base + costs.text_artemis_runtime_extra;
+}
+
+}  // namespace artemis

@@ -1,0 +1,55 @@
+#include "src/core/stats.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/base/units.h"
+
+namespace artemis {
+
+OverheadBreakdown BreakdownFromStats(const McuStats& stats) {
+  OverheadBreakdown b;
+  b.app_time = stats.busy_time[static_cast<int>(CostTag::kApp)];
+  b.runtime_overhead = stats.busy_time[static_cast<int>(CostTag::kRuntime)];
+  b.monitor_overhead = stats.busy_time[static_cast<int>(CostTag::kMonitor)];
+  b.reboot_overhead = stats.busy_time[static_cast<int>(CostTag::kReboot)];
+  return b;
+}
+
+std::string FormatOverheadRow(const std::string& label, const OverheadBreakdown& b) {
+  std::ostringstream out;
+  out << label << "  app=" << FormatDuration(b.app_time)
+      << "  runtime=" << FormatDuration(b.runtime_overhead)
+      << "  monitor=" << FormatDuration(b.monitor_overhead)
+      << "  reboot=" << FormatDuration(b.reboot_overhead)
+      << "  total=" << FormatDuration(b.Total());
+  return out.str();
+}
+
+std::string FormatMemoryTable(const std::vector<MemoryRow>& rows) {
+  std::ostringstream out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-20s %10s %10s %10s\n", "component", ".text", "RAM",
+                "FRAM");
+  out << line;
+  for (const MemoryRow& row : rows) {
+    std::snprintf(line, sizeof(line), "%-20s %10zu %10zu %10zu\n", row.component.c_str(),
+                  row.text, row.ram, row.fram);
+    out << line;
+  }
+  return out.str();
+}
+
+std::string FormatEnergy(EnergyUj energy) {
+  char buf[48];
+  if (energy >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fJ", energy / 1e6);
+  } else if (energy >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fmJ", energy / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fuJ", energy);
+  }
+  return buf;
+}
+
+}  // namespace artemis

@@ -1,0 +1,47 @@
+// Experiment reporting helpers: the Figure 14/15 overhead breakdown, the
+// Figure 16 energy rows, and the Table 2 memory table, formatted the way the
+// bench binaries print them.
+#ifndef SRC_CORE_STATS_H_
+#define SRC_CORE_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/mcu.h"
+#include "src/sim/memory.h"
+
+namespace artemis {
+
+struct OverheadBreakdown {
+  SimDuration app_time = 0;
+  SimDuration runtime_overhead = 0;
+  SimDuration monitor_overhead = 0;
+  SimDuration reboot_overhead = 0;
+
+  SimDuration Total() const {
+    return app_time + runtime_overhead + monitor_overhead + reboot_overhead;
+  }
+};
+
+// Extracts the breakdown from MCU accounting.
+OverheadBreakdown BreakdownFromStats(const McuStats& stats);
+
+// One row of a Figure 14/15 style table: "<label>  app=..s runtime=..ms
+// monitor=..ms total=..s".
+std::string FormatOverheadRow(const std::string& label, const OverheadBreakdown& breakdown);
+
+struct MemoryRow {
+  std::string component;   // "Mayfly runtime", "ARTEMIS runtime", "ARTEMIS monitor"
+  std::size_t text = 0;    // .text proxy bytes
+  std::size_t ram = 0;     // volatile bytes
+  std::size_t fram = 0;    // non-volatile bytes
+};
+
+std::string FormatMemoryTable(const std::vector<MemoryRow>& rows);
+
+// Energy rendering helper: microjoules to a millijoule string.
+std::string FormatEnergy(EnergyUj energy);
+
+}  // namespace artemis
+
+#endif  // SRC_CORE_STATS_H_

@@ -1,0 +1,84 @@
+#include "src/ir/codegen_dot.h"
+
+#include <sstream>
+
+namespace artemis {
+namespace {
+
+std::string EscapeLabel(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string TransitionLabel(const Transition& t, const AppGraph& graph) {
+  std::ostringstream label;
+  if (t.guard != nullptr) {
+    label << "[" << ExprToC(*t.guard) << "] ";
+  }
+  label << TriggerKindName(t.trigger);
+  if (t.trigger != TriggerKind::kAnyEvent) {
+    label << "(" << graph.TaskName(t.task) << ")";
+  }
+  std::size_t fails = 0;
+  std::size_t assigns = 0;
+  for (const StmtPtr& s : t.body) {
+    fails += s->kind == StmtKind::kFail ? 1 : 0;
+    assigns += s->kind == StmtKind::kAssign ? 1 : 0;
+  }
+  if (assigns != 0 || fails != 0) {
+    label << " /";
+    for (const StmtPtr& s : t.body) {
+      if (s->kind == StmtKind::kAssign) {
+        label << " " << s->var << "=" << ExprToC(*s->value) << ";";
+      } else if (s->kind == StmtKind::kFail) {
+        label << " fail(" << ActionTypeName(s->action) << ");";
+      }
+    }
+  }
+  return label.str();
+}
+
+void EmitMachineBody(std::ostringstream& out, const StateMachine& m, const AppGraph& graph,
+                     const std::string& prefix) {
+  for (const std::string& state : m.states) {
+    out << "  " << prefix << state << " [label=\"" << EscapeLabel(state) << "\""
+        << (state == m.initial ? ", peripheries=2" : "") << "];\n";
+  }
+  for (const Transition& t : m.transitions) {
+    out << "  " << prefix << t.from << " -> " << prefix << t.to << " [label=\""
+        << EscapeLabel(TransitionLabel(t, graph)) << "\"];\n";
+  }
+}
+
+}  // namespace
+
+std::string MachineToDot(const StateMachine& machine, const AppGraph& graph) {
+  std::ostringstream out;
+  out << "digraph " << machine.name << " {\n  rankdir=LR;\n  label=\""
+      << EscapeLabel(machine.property_label) << "\";\n";
+  EmitMachineBody(out, machine, graph, "");
+  out << "}\n";
+  return out.str();
+}
+
+std::string MachinesToDot(const std::vector<StateMachine>& machines, const AppGraph& graph) {
+  std::ostringstream out;
+  out << "digraph monitors {\n  rankdir=LR;\n  compound=true;\n";
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    const StateMachine& m = machines[i];
+    out << "  subgraph cluster_" << i << " {\n    label=\"" << EscapeLabel(m.property_label)
+        << "\";\n";
+    EmitMachineBody(out, m, graph, m.name + "_");
+    out << "  }\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace artemis

@@ -1,0 +1,23 @@
+// Graphviz rendering of intermediate-language state machines, matching the
+// Figure 7 diagrams. Used by docs and the codegen_demo example.
+#ifndef SRC_IR_CODEGEN_DOT_H_
+#define SRC_IR_CODEGEN_DOT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ir/state_machine.h"
+#include "src/kernel/app_graph.h"
+
+namespace artemis {
+
+// One digraph per machine; `graph` resolves task ids to names for trigger
+// labels.
+std::string MachineToDot(const StateMachine& machine, const AppGraph& graph);
+
+// All machines in a single DOT document (clustered).
+std::string MachinesToDot(const std::vector<StateMachine>& machines, const AppGraph& graph);
+
+}  // namespace artemis
+
+#endif  // SRC_IR_CODEGEN_DOT_H_

@@ -1,0 +1,69 @@
+// Model-to-model transformation: validated property specifications to
+// intermediate-language state machines, following the Figure 7 templates.
+//
+// Template summary (A = the block's task, B = dpTask, ts = event timestamp):
+//
+//  maxTries N:      NotStarted --start(A)/i=1--> Started
+//                   Started --start(A)[i<N]/i=i+1--> Started
+//                   Started --start(A)[i>=N]/fail;i=0--> NotStarted
+//                   Started --end(A)/i=0--> NotStarted
+//
+//  maxDuration D:   NotStarted --start(A)/start=ts--> Started
+//                   Started --end(A)[ts-start<=D]--> NotStarted
+//                   Started --anyEvent[ts-start>D]/fail--> NotStarted
+//
+//  collect N of B:  S0 --end(B)/i=i+1--> S0
+//                   S0 --start(A)[i>=N]/i=0--> S0
+//                   S0 --start(A)[i<N]/fail(;i=0 when reset_on_fail)--> S0
+//      NOTE: Figure 7 resets the counter on failure, but Section 5.1's
+//      benchmark ("restarts the first path until enough samples are
+//      collected") requires accumulation; accumulate is the default and
+//      reset_on_fail restores the literal figure.
+//
+//  MITD D from B,   WaitEndB --end(B)/endB=ts--> WaitStartA
+//  maxAttempt M:    WaitStartA --end(B)/endB=ts--> WaitStartA   (refresh; our
+//                       documented addition so foreign path restarts cannot
+//                       leave a stale endB)
+//                   WaitStartA --start(A)[ts-endB<=D]/att=0--> WaitEndB
+//                   WaitStartA --start(A)[viol && att<M-1]/att++;fail1--> WaitEndB
+//                   WaitStartA --start(A)[viol && att>=M-1]/att=0;fail2--> WaitEndB
+//
+//  period P (±J):   S0 --start(A)[started==0]/last=ts;started=1--> S0
+//                   S0 --start(A)[started==1 && ts-last<=P+J]/last=ts--> S0
+//                   S0 --start(A)[started==1 && ts-last>P+J]/fail;last=ts--> S0
+//
+//  dpData [lo,hi]:  S0 --end(A)[hasData && (v<lo || v>hi)]/fail--> S0
+//
+//  minEnergy F:     S0 --start(A)[energy<F]/fail--> S0   (Section 4.2.2)
+#ifndef SRC_IR_LOWERING_H_
+#define SRC_IR_LOWERING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ir/state_machine.h"
+#include "src/kernel/app_graph.h"
+#include "src/spec/ast.h"
+
+namespace artemis {
+
+struct LoweringOptions {
+  // Literal Figure 7 collect semantics (reset the counter when signalling
+  // failure) instead of the accumulate default.
+  bool collect_reset_on_fail = false;
+};
+
+// Lowers one property. The spec must already be validated; unresolvable
+// names are internal errors here.
+StatusOr<StateMachine> LowerProperty(const PropertyAst& property, const std::string& task_name,
+                                     const AppGraph& graph, const LoweringOptions& options = {});
+
+// Lowers a whole specification: one machine per property, in declaration
+// order.
+StatusOr<std::vector<StateMachine>> LowerSpec(const SpecAst& spec, const AppGraph& graph,
+                                              const LoweringOptions& options = {});
+
+}  // namespace artemis
+
+#endif  // SRC_IR_LOWERING_H_

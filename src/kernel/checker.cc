@@ -1,0 +1,51 @@
+#include "src/kernel/checker.h"
+
+namespace artemis {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kStartTask:
+      return "StartTask";
+    case EventKind::kEndTask:
+      return "EndTask";
+  }
+  return "?";
+}
+
+const char* ActionTypeName(ActionType action) {
+  switch (action) {
+    case ActionType::kNone:
+      return "none";
+    case ActionType::kRestartTask:
+      return "restartTask";
+    case ActionType::kSkipTask:
+      return "skipTask";
+    case ActionType::kRestartPath:
+      return "restartPath";
+    case ActionType::kSkipPath:
+      return "skipPath";
+    case ActionType::kCompletePath:
+      return "completePath";
+  }
+  return "?";
+}
+
+int ActionSeverity(ActionType action) {
+  switch (action) {
+    case ActionType::kNone:
+      return 0;
+    case ActionType::kRestartTask:
+      return 1;
+    case ActionType::kSkipTask:
+      return 2;
+    case ActionType::kRestartPath:
+      return 3;
+    case ActionType::kSkipPath:
+      return 4;
+    case ActionType::kCompletePath:
+      return 5;
+  }
+  return 0;
+}
+
+}  // namespace artemis

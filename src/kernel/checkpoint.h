@@ -1,0 +1,69 @@
+// Checkpointing-class intermittent execution (Section 2 background).
+//
+// Besides task-based systems (the class ARTEMIS targets), the paper's
+// background surveys checkpointing systems (Mementos, HarvOS, TICS, ...):
+// straight-line programs snapshot their volatile state (registers, stack,
+// globals) to non-volatile memory at chosen points and resume from the last
+// snapshot after a power failure. This module provides that substrate so the
+// repository covers both execution models the paper discusses, and so the
+// background bench can reproduce the classic checkpoint-spacing trade-off
+// (sparse checkpoints = less overhead but more re-executed work).
+#ifndef SRC_KERNEL_CHECKPOINT_H_
+#define SRC_KERNEL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/sim/mcu.h"
+
+namespace artemis {
+
+// One straight-line region of computation between potential checkpoints.
+struct CodeBlock {
+  std::string name;
+  SimDuration duration = kMillisecond;
+  Milliwatts power = 0.66;
+};
+
+struct CheckpointProgram {
+  std::vector<CodeBlock> blocks;
+  // Volatile state captured by one checkpoint (registers + live stack).
+  std::size_t snapshot_bytes = 512;
+
+  SimDuration TotalWork() const;
+};
+
+struct CheckpointOptions {
+  // Take a checkpoint after every `spacing` blocks (1 = after each block).
+  std::uint32_t spacing = 1;
+  // Give up after this much simulated wall time (0 = unlimited).
+  SimDuration max_wall_time = 0;
+};
+
+struct CheckpointRunResult {
+  bool completed = false;
+  bool starved = false;
+  bool timed_out = false;
+  SimTime finished_at = 0;
+  std::uint64_t checkpoints_taken = 0;
+  // Work re-executed because a failure landed after the last checkpoint.
+  SimDuration reexecuted_work = 0;
+  McuStats stats;
+};
+
+// Runs the program to completion under the MCU's power supply, writing a
+// snapshot every `spacing` blocks and replaying from the last snapshot after
+// every power failure. Checkpoint cost: snapshot_bytes at the cost model's
+// NVM commit rate plus a fixed boundary, charged as runtime overhead.
+CheckpointRunResult RunCheckpointed(const CheckpointProgram& program,
+                                    const CheckpointOptions& options, Mcu* mcu);
+
+// A synthetic N-block program with uniform block cost, for benches/tests.
+CheckpointProgram MakeUniformProgram(std::size_t blocks, SimDuration block_duration,
+                                     Milliwatts power, std::size_t snapshot_bytes = 512);
+
+}  // namespace artemis
+
+#endif  // SRC_KERNEL_CHECKPOINT_H_

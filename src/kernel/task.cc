@@ -1,0 +1,15 @@
+#include "src/kernel/task.h"
+
+namespace artemis {
+
+const char* TaskStatusName(TaskStatus status) {
+  switch (status) {
+    case TaskStatus::kReady:
+      return "READY";
+    case TaskStatus::kFinished:
+      return "FINISHED";
+  }
+  return "?";
+}
+
+}  // namespace artemis

@@ -1,0 +1,88 @@
+#include "src/kernel/trace.h"
+
+#include <sstream>
+
+#include "src/base/units.h"
+
+namespace artemis {
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kBoot:
+      return "BOOT";
+    case TraceKind::kTaskStart:
+      return "task-start";
+    case TraceKind::kTaskEnd:
+      return "task-end";
+    case TraceKind::kTaskAborted:
+      return "task-aborted(power-failure)";
+    case TraceKind::kViolation:
+      return "property-violation";
+    case TraceKind::kActionApplied:
+      return "action";
+    case TraceKind::kPathStart:
+      return "path-start";
+    case TraceKind::kPathRestart:
+      return "path-restart";
+    case TraceKind::kPathSkip:
+      return "path-skip";
+    case TraceKind::kPathCompleteUnmonitored:
+      return "path-complete-unmonitored";
+    case TraceKind::kTaskSkipped:
+      return "task-skipped";
+    case TraceKind::kAppComplete:
+      return "app-complete";
+  }
+  return "?";
+}
+
+std::size_t ExecutionTrace::Count(TraceKind kind) const {
+  std::size_t n = 0;
+  for (const TraceRecord& r : records_) {
+    if (r.kind == kind) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t ExecutionTrace::CountForTask(TraceKind kind, TaskId task) const {
+  std::size_t n = 0;
+  for (const TraceRecord& r : records_) {
+    if (r.kind == kind && r.task == task) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string ExecutionTrace::ToString(const std::vector<std::string>& names) const {
+  std::ostringstream out;
+  for (const TraceRecord& r : records_) {
+    out << FormatTimestamp(r.time) << ' ' << TraceKindName(r.kind);
+    if (r.task != kInvalidTask) {
+      out << ' ';
+      if (r.task < names.size()) {
+        out << names[r.task];
+      } else {
+        out << "task#" << r.task;
+      }
+    }
+    if (r.path != kNoPath) {
+      out << " path#" << r.path;
+    }
+    if (r.attempt != 0) {
+      out << " attempt=" << r.attempt;
+    }
+    if (r.action != ActionType::kNone) {
+      out << " action=" << ActionTypeName(r.action);
+    }
+    if (!r.detail.empty()) {
+      out << " [" << r.detail << ']';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace artemis

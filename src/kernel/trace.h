@@ -1,0 +1,64 @@
+// Execution trace recording: the machine-readable counterpart of the
+// Figure 13 timeline. Benches and examples print it; tests assert on it.
+#ifndef SRC_KERNEL_TRACE_H_
+#define SRC_KERNEL_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/kernel/checker.h"
+#include "src/kernel/task.h"
+
+namespace artemis {
+
+enum class TraceKind : std::uint8_t {
+  kBoot,
+  kTaskStart,
+  kTaskEnd,
+  kTaskAborted,   // power failure during the task body
+  kViolation,     // a monitor reported a failed property
+  kActionApplied, // the runtime executed a corrective action
+  kPathStart,
+  kPathRestart,
+  kPathSkip,
+  kPathCompleteUnmonitored,  // completePath tail execution
+  kTaskSkipped,
+  kAppComplete,
+};
+
+const char* TraceKindName(TraceKind kind);
+
+struct TraceRecord {
+  TraceKind kind;
+  SimTime time = 0;       // Device-clock timestamp (what monitors see).
+  SimTime true_time = 0;  // Omniscient simulation time (for staleness audits).
+  TaskId task = kInvalidTask;
+  PathId path = kNoPath;
+  std::uint32_t attempt = 0;
+  ActionType action = ActionType::kNone;
+  std::string detail;  // property name or free-form note
+};
+
+class ExecutionTrace {
+ public:
+  void Record(TraceRecord record) { records_.push_back(std::move(record)); }
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void Clear() { records_.clear(); }
+
+  // Count of records of a given kind (optionally for one task).
+  std::size_t Count(TraceKind kind) const;
+  std::size_t CountForTask(TraceKind kind, TaskId task) const;
+
+  // Renders the trace with task names resolved through `names` (indexable by
+  // TaskId); pass an empty vector to print raw ids.
+  std::string ToString(const std::vector<std::string>& names) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace artemis
+
+#endif  // SRC_KERNEL_TRACE_H_

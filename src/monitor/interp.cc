@@ -1,0 +1,69 @@
+#include "src/monitor/interp.h"
+
+namespace artemis {
+
+InterpretedMonitor::InterpretedMonitor(StateMachine machine)
+    : machine_(std::move(machine)), current_(machine_.initial), env_(machine_.variables) {}
+
+void InterpretedMonitor::HardReset() {
+  current_ = machine_.initial;
+  env_ = machine_.variables;
+}
+
+void InterpretedMonitor::OnPathRestart(PathId path) {
+  if (!machine_.reset_on_path_restart) {
+    return;
+  }
+  if (machine_.path_scope != kNoPath && machine_.path_scope != path) {
+    return;
+  }
+  current_ = machine_.initial;
+  // Counters keep their values; only the control state re-initializes, so a
+  // maxDuration machine abandons its in-flight measurement.
+}
+
+bool InterpretedMonitor::TriggerMatches(const Transition& t, const MonitorEvent& event) const {
+  switch (t.trigger) {
+    case TriggerKind::kStartTask:
+      return event.kind == EventKind::kStartTask && event.task == t.task;
+    case TriggerKind::kEndTask:
+      return event.kind == EventKind::kEndTask && event.task == t.task;
+    case TriggerKind::kAnyEvent:
+      return true;
+  }
+  return false;
+}
+
+bool InterpretedMonitor::Step(const MonitorEvent& event, MonitorVerdict* verdict) {
+  if (machine_.path_scope != kNoPath && event.path != machine_.path_scope) {
+    return false;  // Out-of-scope events are invisible to this machine.
+  }
+  for (const Transition& t : machine_.transitions) {
+    if (t.from != current_ || !TriggerMatches(t, event)) {
+      continue;
+    }
+    if (t.guard != nullptr && EvalExpr(*t.guard, env_, event) == 0.0) {
+      continue;
+    }
+    const bool failed = ExecStmts(t.body, &env_, event, verdict);
+    current_ = t.to;
+    return failed;
+  }
+  return false;  // Implicit self-transition.
+}
+
+double InterpretedMonitor::StepCycles(const CostModel& costs) const {
+  return costs.interp_step_cycles;
+}
+
+std::size_t InterpretedMonitor::FramBytes() const {
+  // Current-state word plus one double per machine variable.
+  return sizeof(std::uint16_t) + machine_.variables.size() * sizeof(double);
+}
+
+double InterpretedMonitor::VarValue(const std::string& name) const {
+  const auto it = env_.find(name);
+  return it != env_.end() ? it->second : 0.0;
+}
+
+}  // namespace artemis

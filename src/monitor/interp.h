@@ -1,0 +1,43 @@
+// State-machine interpreter backend: executes an intermediate-language
+// machine directly. Semantics (Section 3.3): transitions are tried in
+// declaration order from the current state; the first whose trigger and
+// guard match fires; events matching no transition are accepted with no
+// state change (implicit self-transition).
+#ifndef SRC_MONITOR_INTERP_H_
+#define SRC_MONITOR_INTERP_H_
+
+#include <string>
+
+#include "src/ir/state_machine.h"
+#include "src/monitor/monitor.h"
+
+namespace artemis {
+
+class InterpretedMonitor : public Monitor {
+ public:
+  explicit InterpretedMonitor(StateMachine machine);
+
+  bool Step(const MonitorEvent& event, MonitorVerdict* verdict) override;
+  void HardReset() override;
+  void OnPathRestart(PathId path) override;
+  const std::string& label() const override { return machine_.property_label; }
+  double StepCycles(const CostModel& costs) const override;
+  std::size_t FramBytes() const override;
+
+  // Test hooks.
+  const std::string& current_state() const { return current_; }
+  double VarValue(const std::string& name) const;
+  const StateMachine& machine() const { return machine_; }
+
+ private:
+  bool TriggerMatches(const Transition& t, const MonitorEvent& event) const;
+
+  StateMachine machine_;
+  // FRAM-resident execution state.
+  std::string current_;
+  VarEnv env_;
+};
+
+}  // namespace artemis
+
+#endif  // SRC_MONITOR_INTERP_H_

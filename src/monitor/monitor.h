@@ -1,0 +1,45 @@
+// The per-property monitor interface shared by the two backends:
+//  * InterpretedMonitor executes an intermediate-language state machine
+//    (what the generated C code would do, kept as data);
+//  * the builtin monitors in builtin.h mirror Figure 10's hand-laid-out
+//    property_t structures for the fast path.
+// Both are driven by MonitorSet, which owns persistence and cycle
+// accounting.
+#ifndef SRC_MONITOR_MONITOR_H_
+#define SRC_MONITOR_MONITOR_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/kernel/checker.h"
+#include "src/sim/cost_model.h"
+
+namespace artemis {
+
+class Monitor {
+ public:
+  virtual ~Monitor() = default;
+
+  // Processes one event; returns true and fills `verdict` when the property
+  // failed on this event. Mutates internal (FRAM-resident) state.
+  virtual bool Step(const MonitorEvent& event, MonitorVerdict* verdict) = 0;
+
+  // One-time initialization at first boot.
+  virtual void HardReset() = 0;
+
+  // The runtime restarted `path`; in-flight machines re-initialize
+  // (Section 3.3), counting machines keep their counters.
+  virtual void OnPathRestart(PathId path) = 0;
+
+  virtual const std::string& label() const = 0;
+
+  // Simulated cycle cost of one Step call.
+  virtual double StepCycles(const CostModel& costs) const = 0;
+
+  // Persistent (FRAM) footprint in bytes, for Table 2.
+  virtual std::size_t FramBytes() const = 0;
+};
+
+}  // namespace artemis
+
+#endif  // SRC_MONITOR_MONITOR_H_

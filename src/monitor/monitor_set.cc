@@ -1,0 +1,190 @@
+#include "src/monitor/monitor_set.h"
+
+#include "src/monitor/builtin.h"
+#include "src/monitor/interp.h"
+#include "src/sim/mcu.h"
+
+namespace artemis {
+
+const char* MonitorBackendName(MonitorBackend backend) {
+  switch (backend) {
+    case MonitorBackend::kInterpreted:
+      return "interpreted";
+    case MonitorBackend::kBuiltin:
+      return "builtin";
+  }
+  return "?";
+}
+
+const char* MonitorPlacementName(MonitorPlacement placement) {
+  switch (placement) {
+    case MonitorPlacement::kSeparate:
+      return "separate";
+    case MonitorPlacement::kInlined:
+      return "inlined";
+    case MonitorPlacement::kRemote:
+      return "remote";
+  }
+  return "?";
+}
+
+std::size_t MonitorSet::InlinedTextBytes(std::size_t separate_text_bytes,
+                                         std::size_t call_sites) {
+  // Weaving duplicates the checking code at every event site; a small
+  // fraction (the shared state declarations) is not duplicated.
+  const std::size_t shared = separate_text_bytes / 5;
+  return shared + (separate_text_bytes - shared) * (call_sites == 0 ? 1 : call_sites);
+}
+
+void MonitorSet::Add(std::unique_ptr<Monitor> monitor) {
+  monitors_.push_back(std::move(monitor));
+}
+
+std::size_t MonitorSet::FramBytes() const {
+  // Per-monitor state plus the set's own continuation + verdict cache.
+  std::size_t bytes = sizeof(done_seq_) + sizeof(MonitorVerdict) + 16 /* continuation */;
+  for (const auto& monitor : monitors_) {
+    bytes += monitor->FramBytes();
+    bytes += 24;  // property_t slot: action/path/task plumbing (Figure 10).
+  }
+  return bytes;
+}
+
+void MonitorSet::HardReset(Mcu& mcu) {
+  if (!arena_registered_) {
+    mcu.nvm().Allocate(MemOwner::kMonitor, FramBytes(), "monitor-set");
+    arena_registered_ = true;
+  }
+  for (const auto& monitor : monitors_) {
+    monitor->HardReset();
+  }
+  pending_.clear();
+  done_seq_ = 0;
+  cached_verdict_ = MonitorVerdict{};
+  continuation_.Finish();
+}
+
+void MonitorSet::Finalize(Mcu& mcu) {
+  // Interrupted event processing is completed lazily: the kernel re-delivers
+  // the pending event and OnEvent resumes from the saved cursor. The boot
+  // pass just pays the bookkeeping read.
+  if (continuation_.InProgress()) {
+    mcu.ExecuteCycles(mcu.costs().timestamp_read_cycles, CostTag::kMonitor);
+  }
+}
+
+CheckOutcome MonitorSet::OnEvent(const MonitorEvent& event, Mcu& mcu) {
+  CheckOutcome outcome;
+  // Interface-crossing cost depends on where the monitors live: inlined
+  // checks pay nothing; remote monitors pay the radio round-trip; the
+  // separate component pays the callMonitor call.
+  ExecStatus call = ExecStatus::kOk;
+  switch (placement_) {
+    case MonitorPlacement::kSeparate:
+      call = mcu.ExecuteCycles(mcu.costs().monitor_call_cycles, CostTag::kMonitor);
+      break;
+    case MonitorPlacement::kInlined:
+      break;
+    case MonitorPlacement::kRemote:
+      call = mcu.Execute(radio_.tx_time, radio_.tx_power, CostTag::kMonitor);
+      if (call == ExecStatus::kOk) {
+        call = mcu.Execute(radio_.rx_time, radio_.rx_power, CostTag::kMonitor);
+      }
+      break;
+  }
+  if (call != ExecStatus::kOk) {
+    outcome.status = static_cast<int>(call);
+    return outcome;
+  }
+  // Exactly-once verdicts: a boundary retry after the verdict was computed
+  // replays from the cache without re-stepping any monitor.
+  if (event.seq == done_seq_ && done_seq_ != 0) {
+    outcome.verdict = cached_verdict_;
+    return outcome;
+  }
+
+  const std::uint32_t first = continuation_.Begin(event.seq);
+  if (first == 0) {
+    pending_.clear();
+  }
+  // Inlined checks are runtime time; remote checks run on the external
+  // device and cost the local MCU nothing beyond the radio.
+  const CostTag step_tag =
+      placement_ == MonitorPlacement::kInlined ? CostTag::kRuntime : CostTag::kMonitor;
+  for (std::size_t i = first; i < monitors_.size(); ++i) {
+    ExecStatus step = ExecStatus::kOk;
+    if (placement_ != MonitorPlacement::kRemote) {
+      step = mcu.ExecuteCycles(monitors_[i]->StepCycles(mcu.costs()), step_tag);
+    }
+    if (step != ExecStatus::kOk) {
+      // Power failed before this monitor durably consumed the event; the
+      // continuation cursor still points at it, so the re-delivered event
+      // resumes here.
+      outcome.status = static_cast<int>(step);
+      return outcome;
+    }
+    MonitorVerdict verdict;
+    if (monitors_[i]->Step(event, &verdict)) {
+      pending_.push_back(verdict);
+    }
+    continuation_.CompleteStep();
+  }
+
+  MonitorVerdict verdict = Arbitrate(pending_, policy_);
+  if (verdict.violated()) {
+    ++violations_reported_;
+  }
+  pending_.clear();
+  continuation_.Finish();
+  done_seq_ = event.seq;
+  cached_verdict_ = verdict;
+  ++events_processed_;
+  outcome.verdict = verdict;
+  return outcome;
+}
+
+void MonitorSet::OnPathRestart(PathId path, Mcu& mcu) {
+  const CostTag tag =
+      placement_ == MonitorPlacement::kInlined ? CostTag::kRuntime : CostTag::kMonitor;
+  mcu.ExecuteCycles(mcu.costs().action_apply_cycles, tag);
+  for (const auto& monitor : monitors_) {
+    monitor->OnPathRestart(path);
+  }
+}
+
+StatusOr<std::unique_ptr<MonitorSet>> BuildMonitorSet(const SpecAst& spec, const AppGraph& graph,
+                                                      MonitorBackend backend,
+                                                      const LoweringOptions& lowering,
+                                                      ArbitrationPolicy policy) {
+  return BuildMonitorSet(spec, graph, backend, lowering, MonitorSetOptions{.policy = policy});
+}
+
+StatusOr<std::unique_ptr<MonitorSet>> BuildMonitorSet(const SpecAst& spec, const AppGraph& graph,
+                                                      MonitorBackend backend,
+                                                      const LoweringOptions& lowering,
+                                                      const MonitorSetOptions& options) {
+  auto set = std::make_unique<MonitorSet>(options);
+  if (backend == MonitorBackend::kInterpreted) {
+    StatusOr<std::vector<StateMachine>> machines = LowerSpec(spec, graph, lowering);
+    if (!machines.ok()) {
+      return machines.status();
+    }
+    for (StateMachine& machine : machines.value()) {
+      set->Add(std::make_unique<InterpretedMonitor>(std::move(machine)));
+    }
+    return set;
+  }
+  for (const TaskBlockAst& block : spec.blocks) {
+    for (const PropertyAst& property : block.properties) {
+      StatusOr<std::unique_ptr<Monitor>> monitor =
+          MakeBuiltinMonitor(property, block.task, graph, lowering.collect_reset_on_fail);
+      if (!monitor.ok()) {
+        return monitor.status();
+      }
+      set->Add(std::move(monitor).value());
+    }
+  }
+  return set;
+}
+
+}  // namespace artemis

@@ -1,0 +1,135 @@
+// MonitorSet: the ARTEMIS application-specific monitor component.
+//
+// Implements the kernel's PropertyChecker interface over a collection of
+// per-property monitors. Responsibilities:
+//  * cycle accounting under CostTag::kMonitor (Figure 15's "monitor
+//    overhead" bar);
+//  * power-failure-resilient event processing: the ImmortalThreads-style
+//    local continuation persists which monitors have already consumed the
+//    current event, so a re-delivered event (same seq) resumes instead of
+//    double-stepping (Section 4.2.3);
+//  * exactly-once verdicts: once an event's verdict is computed it is cached
+//    against the seq, so the kernel can retry boundary transitions
+//    idempotently;
+//  * verdict arbitration across simultaneously failing properties;
+//  * FRAM byte accounting under MemOwner::kMonitor for Table 2.
+#ifndef SRC_MONITOR_MONITOR_SET_H_
+#define SRC_MONITOR_MONITOR_SET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ir/lowering.h"
+#include "src/kernel/app_graph.h"
+#include "src/kernel/checker.h"
+#include "src/kernel/immortal.h"
+#include "src/monitor/arbitration.h"
+#include "src/monitor/monitor.h"
+#include "src/spec/ast.h"
+
+namespace artemis {
+
+enum class MonitorBackend { kInterpreted, kBuiltin };
+
+const char* MonitorBackendName(MonitorBackend backend);
+
+// Where the monitors live relative to the application MCU — the Section 7
+// "Implementation Alternatives" trade-off:
+//  * kSeparate — the paper's design: a distinct monitor component, events
+//    cross the runtime->monitor interface (default).
+//  * kInlined  — compiler-woven checks: no interface-crossing cost and the
+//    per-step work is accounted as runtime time, at the price of duplicated
+//    code (larger .text, see InlinedTextBytes).
+//  * kRemote   — monitors on an external wirelessly-connected device: the
+//    local MCU only pays radio TX/RX per event, which is far more expensive
+//    than local checking (wireless >> compute).
+enum class MonitorPlacement { kSeparate, kInlined, kRemote };
+
+const char* MonitorPlacementName(MonitorPlacement placement);
+
+struct RadioProfile {
+  // Transmitting one MonitorEvent_t to the external monitor.
+  SimDuration tx_time = 4 * kMillisecond;
+  Milliwatts tx_power = 24.0;
+  // Receiving the verdict.
+  SimDuration rx_time = 2 * kMillisecond;
+  Milliwatts rx_power = 18.0;
+};
+
+struct MonitorSetOptions {
+  ArbitrationPolicy policy = ArbitrationPolicy::kSeverity;
+  MonitorPlacement placement = MonitorPlacement::kSeparate;
+  RadioProfile radio;  // Used by kRemote only.
+};
+
+class MonitorSet : public PropertyChecker {
+ public:
+  explicit MonitorSet(ArbitrationPolicy policy = ArbitrationPolicy::kSeverity)
+      : MonitorSet(MonitorSetOptions{.policy = policy}) {}
+  explicit MonitorSet(const MonitorSetOptions& options)
+      : policy_(options.policy), placement_(options.placement), radio_(options.radio) {}
+
+  void Add(std::unique_ptr<Monitor> monitor);
+  std::size_t size() const { return monitors_.size(); }
+  const Monitor& monitor(std::size_t i) const { return *monitors_[i]; }
+  Monitor& monitor(std::size_t i) { return *monitors_[i]; }
+
+  // PropertyChecker implementation.
+  void HardReset(Mcu& mcu) override;
+  void Finalize(Mcu& mcu) override;
+  CheckOutcome OnEvent(const MonitorEvent& event, Mcu& mcu) override;
+  void OnPathRestart(PathId path, Mcu& mcu) override;
+  std::string Name() const override { return "artemis-monitors"; }
+
+  // Persistent monitor footprint in bytes (Table 2, monitor FRAM column).
+  std::size_t FramBytes() const;
+
+  // Number of processed events / reported violations, for benches.
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::uint64_t violations_reported() const { return violations_reported_; }
+
+  MonitorPlacement placement() const { return placement_; }
+
+  // .text proxy when the monitors are inlined at every event site instead of
+  // generated once: the per-machine code duplicates per call site
+  // (Section 6's memory-footprint argument against AOP-style weaving).
+  static std::size_t InlinedTextBytes(std::size_t separate_text_bytes,
+                                      std::size_t call_sites);
+
+ private:
+  ArbitrationPolicy policy_;
+  MonitorPlacement placement_ = MonitorPlacement::kSeparate;
+  RadioProfile radio_;
+  std::vector<std::unique_ptr<Monitor>> monitors_;
+
+  // ---- FRAM-resident progress state (ImmortalThreads-backed) ----
+  ImmortalContext continuation_{nullptr, MemOwner::kMonitor, "monitor-continuation"};
+  std::vector<MonitorVerdict> pending_;  // failures gathered for the in-flight event
+  std::uint64_t done_seq_ = 0;           // last fully processed event
+  MonitorVerdict cached_verdict_;        // its arbitrated verdict
+  bool arena_registered_ = false;
+
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t violations_reported_ = 0;
+};
+
+// Builds a MonitorSet from a validated spec with the chosen backend.
+// kInterpreted lowers each property to an intermediate-language machine and
+// interprets it; kBuiltin instantiates the Figure 10 style structures.
+StatusOr<std::unique_ptr<MonitorSet>> BuildMonitorSet(const SpecAst& spec, const AppGraph& graph,
+                                                      MonitorBackend backend,
+                                                      const LoweringOptions& lowering = {},
+                                                      ArbitrationPolicy policy =
+                                                          ArbitrationPolicy::kSeverity);
+
+// Full-options variant (placement alternatives).
+StatusOr<std::unique_ptr<MonitorSet>> BuildMonitorSet(const SpecAst& spec, const AppGraph& graph,
+                                                      MonitorBackend backend,
+                                                      const LoweringOptions& lowering,
+                                                      const MonitorSetOptions& options);
+
+}  // namespace artemis
+
+#endif  // SRC_MONITOR_MONITOR_SET_H_

@@ -1,0 +1,34 @@
+#include "src/sim/clock.h"
+
+namespace artemis {
+
+SimTime PersistentClock::Read() const {
+  const std::int64_t value = static_cast<std::int64_t>(true_now_) + error_;
+  return value > 0 ? static_cast<SimTime>(value) : 0;
+}
+
+void PersistentClock::AdvanceTo(SimTime t) {
+  if (t > true_now_) {
+    true_now_ = t;
+  }
+}
+
+void PersistentClock::NotifyPowerFailure() {
+  ++outages_;
+  if (timekeeper_ == nullptr && max_drift_ != 0) {
+    const std::int64_t span = static_cast<std::int64_t>(max_drift_);
+    const std::int64_t draw =
+        static_cast<std::int64_t>(rng_.UniformU64(0, static_cast<std::uint64_t>(2 * span)));
+    error_ += draw - span;
+  }
+}
+
+void PersistentClock::NotifyOutage(SimDuration actual_outage) {
+  if (timekeeper_ == nullptr) {
+    return;  // Legacy drift was applied by NotifyPowerFailure.
+  }
+  const SimDuration measured = timekeeper_->MeasureOutage(actual_outage, rng_);
+  error_ += static_cast<std::int64_t>(measured) - static_cast<std::int64_t>(actual_outage);
+}
+
+}  // namespace artemis

@@ -1,0 +1,68 @@
+// Persistent timekeeping across power failures.
+//
+// Checking time-related properties (MITD, maxDuration, period) requires that
+// the device not lose its notion of time during an outage. The paper relies
+// on persistent timekeepers (Botoks/CHRT-style remanence timekeeping); we
+// model an idealized persistent clock plus an optional bounded per-outage
+// drift to study monitor robustness against timekeeping error.
+#ifndef SRC_SIM_CLOCK_H_
+#define SRC_SIM_CLOCK_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/base/rng.h"
+#include "src/base/time.h"
+#include "src/sim/timekeeper.h"
+
+namespace artemis {
+
+class PersistentClock {
+ public:
+  PersistentClock() : rng_(0x5eed) {}
+
+  // True simulated wall time (what an omniscient observer sees).
+  SimTime TrueNow() const { return true_now_; }
+
+  // What the device reads: true time plus accumulated timekeeping error.
+  SimTime Read() const;
+
+  // Advances the simulation.
+  void Advance(SimDuration d) { true_now_ += d; }
+  void AdvanceTo(SimTime t);
+
+  // Per-outage drift: each power failure perturbs the device clock by a
+  // uniform error in [-max_drift, +max_drift]. Zero (default) = ideal clock.
+  // Ignored when a timekeeper model is installed.
+  void SetMaxDriftPerOutage(SimDuration max_drift) { max_drift_ = max_drift; }
+
+  // Installs a hardware timekeeper model: each outage's length is then
+  // *measured* by the model and the measurement error accumulates in the
+  // device clock (a saturating timekeeper silently loses outage time).
+  void SetTimekeeper(std::unique_ptr<OutageTimekeeper> timekeeper) {
+    timekeeper_ = std::move(timekeeper);
+  }
+  const OutageTimekeeper* timekeeper() const { return timekeeper_.get(); }
+
+  // Called when a power failure begins; applies the drift for this outage.
+  void NotifyPowerFailure();
+
+  // Called once the outage length is known (at reboot); applies the
+  // timekeeper measurement error or, without a timekeeper, the legacy
+  // uniform drift.
+  void NotifyOutage(SimDuration actual_outage);
+
+  std::uint64_t outage_count() const { return outages_; }
+
+ private:
+  SimTime true_now_ = 0;
+  std::int64_t error_ = 0;  // device clock - true clock, in ticks
+  SimDuration max_drift_ = 0;
+  std::uint64_t outages_ = 0;
+  std::unique_ptr<OutageTimekeeper> timekeeper_;
+  Rng rng_;
+};
+
+}  // namespace artemis
+
+#endif  // SRC_SIM_CLOCK_H_

@@ -1,0 +1,10 @@
+#include "src/sim/cost_model.h"
+
+namespace artemis {
+
+const CostModel& DefaultCostModel() {
+  static const CostModel kDefault{};
+  return kDefault;
+}
+
+}  // namespace artemis

@@ -1,0 +1,61 @@
+#include "src/sim/harvester.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace artemis {
+
+EnergyUj Harvester::EnergyOver(SimTime t, SimDuration d) const {
+  // Generic numeric integration at millisecond resolution (finer for short
+  // spans). Analytic sources override this.
+  if (d == 0) {
+    return 0.0;
+  }
+  const SimDuration step = std::max<SimDuration>(1, std::min<SimDuration>(kMillisecond, d / 16));
+  EnergyUj total = 0.0;
+  SimDuration done = 0;
+  while (done < d) {
+    const SimDuration chunk = std::min(step, d - done);
+    total += EnergyFor(PowerAt(t + done), chunk);
+    done += chunk;
+  }
+  return total;
+}
+
+PulseHarvester::PulseHarvester(Milliwatts on_power, SimDuration period, SimDuration on)
+    : on_power_(on_power), period_(period == 0 ? 1 : period), on_(std::min(on, period)) {}
+
+Milliwatts PulseHarvester::PowerAt(SimTime t) const {
+  return (t % period_) < on_ ? on_power_ : 0.0;
+}
+
+TraceHarvester::TraceHarvester(std::vector<std::pair<SimTime, Milliwatts>> steps)
+    : steps_(std::move(steps)) {
+  std::sort(steps_.begin(), steps_.end());
+}
+
+Milliwatts TraceHarvester::PowerAt(SimTime t) const {
+  if (steps_.empty() || t < steps_.front().first) {
+    return 0.0;
+  }
+  // Last step whose start time is <= t.
+  auto it = std::upper_bound(steps_.begin(), steps_.end(), t,
+                             [](SimTime v, const auto& s) { return v < s.first; });
+  return std::prev(it)->second;
+}
+
+NoisyHarvester::NoisyHarvester(Milliwatts mean_power, double relative_stddev,
+                               SimDuration interval, std::uint64_t seed)
+    : mean_power_(mean_power),
+      relative_stddev_(relative_stddev),
+      interval_(interval == 0 ? kSecond : interval),
+      seed_(seed) {}
+
+Milliwatts NoisyHarvester::PowerAt(SimTime t) const {
+  const std::uint64_t slot = t / interval_;
+  Rng rng(seed_ ^ (slot * 0x9E3779B97F4A7C15ULL + 1));
+  const double factor = std::max(0.0, rng.Gaussian(1.0, relative_stddev_));
+  return mean_power_ * factor;
+}
+
+}  // namespace artemis

@@ -1,0 +1,93 @@
+#include "src/sim/mcu.h"
+
+#include <numeric>
+
+namespace artemis {
+
+const char* CostTagName(CostTag tag) {
+  switch (tag) {
+    case CostTag::kApp:
+      return "app";
+    case CostTag::kRuntime:
+      return "runtime";
+    case CostTag::kMonitor:
+      return "monitor";
+    case CostTag::kReboot:
+      return "reboot";
+  }
+  return "?";
+}
+
+SimDuration McuStats::TotalBusy() const {
+  return std::accumulate(busy_time.begin(), busy_time.end(), SimDuration{0});
+}
+
+EnergyUj McuStats::TotalEnergy() const {
+  return std::accumulate(energy.begin(), energy.end(), EnergyUj{0.0});
+}
+
+Mcu::Mcu(std::unique_ptr<PowerModel> power, const CostModel& costs)
+    : power_(std::move(power)), costs_(costs) {
+  power_->NotifyReboot(0);
+}
+
+ExecStatus Mcu::Execute(SimDuration duration, Milliwatts power, CostTag tag) {
+  return ExecuteInternal(duration, power, tag, 0);
+}
+
+ExecStatus Mcu::ExecuteCycles(double cycles, CostTag tag) {
+  return Execute(costs_.CyclesToTime(cycles), costs_.mcu_active_power, tag);
+}
+
+SimTime Mcu::ReadClock(CostTag tag) {
+  ExecuteCycles(costs_.timestamp_read_cycles, tag);
+  return clock_.Read();
+}
+
+ExecStatus Mcu::ExecuteInternal(SimDuration duration, Milliwatts power, CostTag tag,
+                                int depth) {
+  if (starved_) {
+    return ExecStatus::kStarved;
+  }
+  const SimTime start = clock_.TrueNow();
+  const ConsumeResult res = power_->Consume(start, duration, power);
+
+  const int idx = static_cast<int>(tag);
+  stats_.busy_time[idx] += res.ran_for;
+  stats_.energy[idx] += res.consumed;
+  clock_.Advance(res.ran_for);
+
+  if (res.completed) {
+    return ExecStatus::kOk;
+  }
+
+  // Power failure: outage begins now, device resumes at res.restart_at.
+  ++stats_.reboots;
+  clock_.NotifyPowerFailure();
+  ram_.LosePower();
+  const SimTime died_at = clock_.TrueNow();
+  const SimDuration outage = res.restart_at > died_at ? res.restart_at - died_at : 0;
+  if (outage > 0) {
+    stats_.charging_time += outage;
+    clock_.AdvanceTo(res.restart_at);
+  }
+  clock_.NotifyOutage(outage);
+  power_->NotifyReboot(clock_.TrueNow());
+
+  // Boot-time restore (kernel reload + monitorFinalize). It can itself be
+  // interrupted; bound recursion so an undersized energy buffer is reported
+  // as starvation instead of an infinite loop.
+  if (depth > 64) {
+    starved_ = true;
+    return ExecStatus::kStarved;
+  }
+  const SimDuration restore = costs_.CyclesToTime(costs_.reboot_restore_cycles);
+  const ExecStatus boot =
+      ExecuteInternal(restore, costs_.mcu_active_power, CostTag::kReboot, depth + 1);
+  if (boot == ExecStatus::kStarved) {
+    return ExecStatus::kStarved;
+  }
+  return ExecStatus::kPowerFailure;
+}
+
+}  // namespace artemis

@@ -1,0 +1,95 @@
+// The simulated MCU: glues the power model, persistent clock, and memory
+// arenas together and accounts busy time / energy per component.
+//
+// Every piece of simulated work — application task bodies, kernel
+// bookkeeping, monitor property checks, reboot restoration — flows through
+// Mcu::Execute, which advances time, drains the power model, and on a power
+// failure performs the full outage: clock drift, SRAM loss, charging delay,
+// and boot-time restore cost.
+#ifndef SRC_SIM_MCU_H_
+#define SRC_SIM_MCU_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/base/time.h"
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/memory.h"
+#include "src/sim/power_model.h"
+
+namespace artemis {
+
+enum class ExecStatus { kOk, kPowerFailure, kStarved };
+
+// Accounting buckets; kApp vs kRuntime vs kMonitor produces Figures 14/15
+// directly, kReboot separates outage restoration costs.
+enum class CostTag { kApp = 0, kRuntime = 1, kMonitor = 2, kReboot = 3 };
+inline constexpr int kNumCostTags = 4;
+
+const char* CostTagName(CostTag tag);
+
+struct McuStats {
+  std::array<SimDuration, kNumCostTags> busy_time{};
+  std::array<EnergyUj, kNumCostTags> energy{};
+  std::uint64_t reboots = 0;
+  SimDuration charging_time = 0;  // total time spent dead, waiting for energy
+
+  SimDuration TotalBusy() const;
+  EnergyUj TotalEnergy() const;
+};
+
+class Mcu {
+ public:
+  Mcu(std::unique_ptr<PowerModel> power, const CostModel& costs);
+
+  // Runs `duration` of work drawing `power` mW, attributed to `tag`.
+  // On power failure the outage is fully simulated before returning:
+  // the clock jumps to the restart time and the boot restore cost has been
+  // paid. Returns kStarved when the device can never finish even the boot
+  // sequence (e.g. undersized capacitor), after a bounded number of retries.
+  ExecStatus Execute(SimDuration duration, Milliwatts power, CostTag tag);
+
+  // Convenience: runs `cycles` CPU cycles at the MCU active power.
+  ExecStatus ExecuteCycles(double cycles, CostTag tag);
+
+  // Device clock read without cost (for assertions / logging).
+  SimTime Now() const { return clock_.Read(); }
+  // True simulation time (wall clock of the experiment).
+  SimTime TrueNow() const { return clock_.TrueNow(); }
+
+  // Device clock read that charges the timestamp cost to `tag`.
+  SimTime ReadClock(CostTag tag);
+
+  // Lets idle time pass without drawing compute power (e.g. duty-cycled
+  // waiting). The power model is not drained.
+  void Idle(SimDuration d) { clock_.Advance(d); }
+
+  PersistentClock& clock() { return clock_; }
+  NvmArena& nvm() { return nvm_; }
+  RamArena& ram() { return ram_; }
+  PowerModel& power_model() { return *power_; }
+  const CostModel& costs() const { return costs_; }
+  const McuStats& stats() const { return stats_; }
+  bool starved() const { return starved_; }
+
+  // Resets accounting (not memory registration) between experiment runs.
+  void ResetStats() { stats_ = McuStats{}; }
+
+ private:
+  ExecStatus ExecuteInternal(SimDuration duration, Milliwatts power, CostTag tag, int depth);
+
+  std::unique_ptr<PowerModel> power_;
+  CostModel costs_;
+  PersistentClock clock_;
+  NvmArena nvm_;
+  RamArena ram_;
+  McuStats stats_;
+  bool starved_ = false;
+};
+
+}  // namespace artemis
+
+#endif  // SRC_SIM_MCU_H_

@@ -1,0 +1,58 @@
+#include "src/sim/memory.h"
+
+namespace artemis {
+
+const char* MemOwnerName(MemOwner owner) {
+  switch (owner) {
+    case MemOwner::kRuntime:
+      return "runtime";
+    case MemOwner::kMonitor:
+      return "monitor";
+    case MemOwner::kApp:
+      return "app";
+    case MemOwner::kKernel:
+      return "kernel";
+  }
+  return "?";
+}
+
+bool NvmArena::Allocate(MemOwner owner, std::size_t bytes, const std::string& label) {
+  entries_.push_back(Entry{owner, bytes, label});
+  used_ += bytes;
+  return used_ <= capacity_;
+}
+
+MemoryReport NvmArena::Report() const {
+  MemoryReport report;
+  report.total = used_;
+  for (const Entry& e : entries_) {
+    report.by_owner[e.owner] += e.bytes;
+  }
+  return report;
+}
+
+bool RamArena::Allocate(MemOwner owner, std::size_t bytes, const std::string& label,
+                        std::function<void()> reset) {
+  entries_.push_back(Entry{owner, bytes, label, std::move(reset)});
+  used_ += bytes;
+  return used_ <= capacity_;
+}
+
+void RamArena::LosePower() {
+  for (Entry& e : entries_) {
+    if (e.reset) {
+      e.reset();
+    }
+  }
+}
+
+MemoryReport RamArena::Report() const {
+  MemoryReport report;
+  report.total = used_;
+  for (const Entry& e : entries_) {
+    report.by_owner[e.owner] += e.bytes;
+  }
+  return report;
+}
+
+}  // namespace artemis

@@ -1,0 +1,130 @@
+// FRAM / SRAM memory models with per-component byte accounting.
+//
+// The MSP430FR5994 pairs 256 KB of non-volatile FRAM with 4 KB of volatile
+// SRAM. Objects placed in the NVM arena persist across simulated power
+// failures; objects in the RAM arena are reset to their initial value on
+// every reboot. Byte accounting per component tag feeds the Table 2
+// memory-requirements experiment.
+#ifndef SRC_SIM_MEMORY_H_
+#define SRC_SIM_MEMORY_H_
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace artemis {
+
+// Component tags used for the Table 2 breakdown.
+enum class MemOwner { kRuntime, kMonitor, kApp, kKernel };
+
+const char* MemOwnerName(MemOwner owner);
+
+struct MemoryReport {
+  std::size_t total = 0;
+  std::map<MemOwner, std::size_t> by_owner;
+};
+
+// Non-volatile arena: accounting only; persistence is the default for C++
+// objects in a single-process simulation, so registration records *which*
+// state the design keeps in FRAM and how many bytes it costs.
+class NvmArena {
+ public:
+  explicit NvmArena(std::size_t capacity_bytes = 256 * 1024) : capacity_(capacity_bytes) {}
+
+  // Records an allocation. Returns false when the arena is exhausted (the
+  // allocation is still recorded so reports show the overflow).
+  bool Allocate(MemOwner owner, std::size_t bytes, const std::string& label);
+
+  MemoryReport Report() const;
+  std::size_t used() const { return used_; }
+  std::size_t capacity() const { return capacity_; }
+
+  struct Entry {
+    MemOwner owner;
+    std::size_t bytes;
+    std::string label;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::vector<Entry> entries_;
+};
+
+// Volatile arena: additionally owns reset hooks invoked on every reboot so
+// "SRAM" state actually loses its contents in the simulation.
+class RamArena {
+ public:
+  explicit RamArena(std::size_t capacity_bytes = 4 * 1024) : capacity_(capacity_bytes) {}
+
+  bool Allocate(MemOwner owner, std::size_t bytes, const std::string& label,
+                std::function<void()> reset);
+
+  // Invokes every reset hook; called by the MCU on each reboot.
+  void LosePower();
+
+  MemoryReport Report() const;
+  std::size_t used() const { return used_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  struct Entry {
+    MemOwner owner;
+    std::size_t bytes;
+    std::string label;
+    std::function<void()> reset;
+  };
+  std::vector<Entry> entries_;
+};
+
+// A value of type T registered with the volatile arena: reset to its initial
+// value whenever the device reboots.
+template <typename T>
+class Volatile {
+ public:
+  Volatile(RamArena* arena, MemOwner owner, const std::string& label, T initial = T{})
+      : initial_(initial), value_(initial) {
+    if (arena != nullptr) {
+      arena->Allocate(owner, sizeof(T), label, [this] { value_ = initial_; });
+    }
+  }
+
+  T& get() { return value_; }
+  const T& get() const { return value_; }
+  void set(const T& v) { value_ = v; }
+
+ private:
+  T initial_;
+  T value_;
+};
+
+// A value of type T registered with the non-volatile arena. Persistence is
+// implicit; registration exists for byte accounting and design clarity.
+template <typename T>
+class Persistent {
+ public:
+  Persistent(NvmArena* arena, MemOwner owner, const std::string& label, T initial = T{})
+      : value_(initial) {
+    if (arena != nullptr) {
+      arena->Allocate(owner, sizeof(T), label);
+    }
+  }
+
+  T& get() { return value_; }
+  const T& get() const { return value_; }
+  void set(const T& v) { value_ = v; }
+
+ private:
+  T value_;
+};
+
+}  // namespace artemis
+
+#endif  // SRC_SIM_MEMORY_H_

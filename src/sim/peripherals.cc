@@ -1,0 +1,27 @@
+#include "src/sim/peripherals.h"
+
+#include <cassert>
+
+namespace artemis {
+
+void PeripheralCatalog::Register(const PeripheralOp& op) { ops_[op.name] = op; }
+
+bool PeripheralCatalog::Has(const std::string& name) const { return ops_.count(name) != 0; }
+
+const PeripheralOp& PeripheralCatalog::Get(const std::string& name) const {
+  auto it = ops_.find(name);
+  assert(it != ops_.end() && "unknown peripheral op");
+  return it->second;
+}
+
+PeripheralCatalog PeripheralCatalog::ThunderboardDefaults() {
+  PeripheralCatalog catalog;
+  catalog.Register({.name = "temp_read", .duration = 20 * kMillisecond, .power = 2.0});
+  catalog.Register({.name = "accel_burst", .duration = 2 * kSecond, .power = 9.0});
+  catalog.Register({.name = "mic_capture", .duration = 1 * kSecond, .power = 6.0});
+  catalog.Register({.name = "ble_send", .duration = 120 * kMillisecond, .power = 24.0});
+  catalog.Register({.name = "heart_rate", .duration = 500 * kMillisecond, .power = 4.0});
+  return catalog;
+}
+
+}  // namespace artemis

@@ -1,0 +1,49 @@
+// Peripheral cost models for the Thunderboard EFR32BG22 sensor node.
+//
+// The evaluation app samples a temperature sensor, an accelerometer, and a
+// microphone, and transmits over BLE 5.0. Only the *relative* time/energy
+// cost of these operations matters for reproducing the paper's shape results
+// (accel and BLE are the expensive ones, Section 5.1); the constants below
+// are calibrated to typical datasheet figures at 3 V.
+#ifndef SRC_SIM_PERIPHERALS_H_
+#define SRC_SIM_PERIPHERALS_H_
+
+#include <map>
+#include <string>
+
+#include "src/base/time.h"
+
+namespace artemis {
+
+struct PeripheralOp {
+  std::string name;
+  SimDuration duration = 0;
+  Milliwatts power = 0.0;
+
+  EnergyUj Energy() const { return EnergyFor(power, duration); }
+};
+
+// A catalogue of named peripheral operations.
+class PeripheralCatalog {
+ public:
+  void Register(const PeripheralOp& op);
+  bool Has(const std::string& name) const;
+  const PeripheralOp& Get(const std::string& name) const;
+  const std::map<std::string, PeripheralOp>& ops() const { return ops_; }
+
+  // Thunderboard-like defaults used by the benchmark application:
+  //   temp_read   : quick ADC conversion
+  //   accel_burst : 2 s of accelerometer sampling for respiration rate (the
+  //                 highest-consuming task, per Section 5.1)
+  //   mic_capture : 1 s microphone capture for cough detection
+  //   ble_send    : BLE 5.0 advertisement/transmission burst
+  //   heart_rate  : optical HR sensing window
+  static PeripheralCatalog ThunderboardDefaults();
+
+ private:
+  std::map<std::string, PeripheralOp> ops_;
+};
+
+}  // namespace artemis
+
+#endif  // SRC_SIM_PERIPHERALS_H_

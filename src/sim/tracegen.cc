@@ -1,0 +1,68 @@
+#include "src/sim/tracegen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/rng.h"
+
+namespace artemis {
+
+std::vector<std::pair<SimTime, Milliwatts>> GenerateHarvestTrace(
+    const EnvironmentTraceConfig& config) {
+  std::vector<std::pair<SimTime, Milliwatts>> trace;
+  Rng rng(config.seed);
+  const SimDuration step = config.step == 0 ? kSecond : config.step;
+  const double steps_per_hour = static_cast<double>(kHour) / static_cast<double>(step);
+  const double blackout_p = config.blackout_rate_per_hour / steps_per_hour;
+
+  double level = config.mean_power;
+  SimTime t = 0;
+  SimTime blackout_until = 0;
+  while (t < config.duration) {
+    if (t >= blackout_until && rng.NextDouble() < blackout_p) {
+      blackout_until = t + std::max<SimDuration>(step, rng.Exponential(config.blackout_mean));
+    }
+    double power;
+    if (t < blackout_until) {
+      power = 0.0;
+    } else {
+      // Mean-reverting geometric walk: drift toward the mean plus noise.
+      const double pull = 0.05 * (config.mean_power - level);
+      const double noise = rng.Gaussian(0.0, config.volatility * config.mean_power);
+      level = std::clamp(level + pull + noise, static_cast<double>(config.floor),
+                         static_cast<double>(config.ceiling));
+      power = level;
+    }
+    if (trace.empty() || trace.back().second != power) {
+      trace.emplace_back(t, power);
+    }
+    t += step;
+  }
+  return trace;
+}
+
+std::vector<std::pair<SimTime, SimTime>> OnWindowsFromHarvest(
+    const std::vector<std::pair<SimTime, Milliwatts>>& trace, Milliwatts min_power,
+    SimDuration trace_end, SimDuration min_window) {
+  std::vector<std::pair<SimTime, SimTime>> windows;
+  bool on = false;
+  SimTime window_start = 0;
+  for (const auto& [start, power] : trace) {
+    const bool enough = power >= min_power;
+    if (enough && !on) {
+      on = true;
+      window_start = start;
+    } else if (!enough && on) {
+      on = false;
+      if (start - window_start >= min_window) {
+        windows.emplace_back(window_start, start);
+      }
+    }
+  }
+  if (on && trace_end > window_start && trace_end - window_start >= min_window) {
+    windows.emplace_back(window_start, trace_end);
+  }
+  return windows;
+}
+
+}  // namespace artemis

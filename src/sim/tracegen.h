@@ -1,0 +1,46 @@
+// Synthetic ambient-energy trace generation.
+//
+// The paper's testbed harvests from a physical RF transmitter; real
+// deployments see time-varying fields (movement, occlusion, duty cycling).
+// Without access to recorded traces, this module generates statistically
+// controlled synthetic ones — a bounded geometric random walk with
+// exponentially-distributed blackout episodes — to drive TraceHarvester /
+// CapacitorPowerModel in robustness tests.
+#ifndef SRC_SIM_TRACEGEN_H_
+#define SRC_SIM_TRACEGEN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace artemis {
+
+struct EnvironmentTraceConfig {
+  SimDuration duration = kHour;
+  SimDuration step = kSecond;      // Sample spacing of the trace.
+  Milliwatts mean_power = 3.0;     // Long-run harvest level.
+  double volatility = 0.1;         // Per-step relative random-walk stddev.
+  Milliwatts floor = 0.0;          // Lower clamp outside blackouts.
+  Milliwatts ceiling = 12.0;       // Upper clamp (regulator limit).
+  double blackout_rate_per_hour = 4.0;        // Expected blackout episodes/h.
+  SimDuration blackout_mean = 30 * kSecond;   // Mean episode length.
+  std::uint64_t seed = 1;
+};
+
+// Piecewise-constant harvest power trace suitable for TraceHarvester.
+std::vector<std::pair<SimTime, Milliwatts>> GenerateHarvestTrace(
+    const EnvironmentTraceConfig& config);
+
+// Derives device on-windows from a harvest trace: the device can run while
+// harvested power stays at or above `min_power`. Suitable for
+// TracePowerModel. Windows shorter than `min_window` are dropped (the
+// device cannot even boot in them).
+std::vector<std::pair<SimTime, SimTime>> OnWindowsFromHarvest(
+    const std::vector<std::pair<SimTime, Milliwatts>>& trace, Milliwatts min_power,
+    SimDuration trace_end, SimDuration min_window = 50 * kMillisecond);
+
+}  // namespace artemis
+
+#endif  // SRC_SIM_TRACEGEN_H_

@@ -1,0 +1,219 @@
+#include "src/spec/app_lang.h"
+
+#include <vector>
+
+#include "src/kernel/channel.h"
+#include "src/spec/lexer.h"
+
+namespace artemis {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<AppDescription> Run() {
+    AppDescription app;
+    if (Status status = ExpectKeyword("app"); !status.ok()) {
+      return status;
+    }
+    if (!Check(TokenKind::kIdentifier)) {
+      return ErrorAt(Peek(), "expected the application name");
+    }
+    app.name = Advance().text;
+    if (Status status = Expect(TokenKind::kLBrace); !status.ok()) {
+      return status;
+    }
+    while (!Check(TokenKind::kRBrace) && !Check(TokenKind::kEndOfInput)) {
+      if (!Check(TokenKind::kIdentifier)) {
+        return ErrorAt(Peek(), "expected 'task' or 'path'");
+      }
+      if (Peek().text == "task") {
+        if (Status status = ParseTask(&app); !status.ok()) {
+          return status;
+        }
+      } else if (Peek().text == "path") {
+        if (Status status = ParsePath(&app); !status.ok()) {
+          return status;
+        }
+      } else {
+        return ErrorAt(Peek(), "unknown declaration '" + Peek().text + "'");
+      }
+    }
+    if (Status status = Expect(TokenKind::kRBrace); !status.ok()) {
+      return status;
+    }
+    if (Status status = app.graph.Validate(); !status.ok()) {
+      return status;
+    }
+    return app;
+  }
+
+ private:
+  Status ParseTask(AppDescription* app) {
+    Advance();  // 'task'
+    if (!Check(TokenKind::kIdentifier)) {
+      return ErrorAt(Peek(), "expected a task name");
+    }
+    const Token name = Advance();
+    if (app->graph.FindTask(name.text).has_value()) {
+      return ErrorAt(name, "duplicate task '" + name.text + "'");
+    }
+    if (Status status = Expect(TokenKind::kLBrace); !status.ok()) {
+      return status;
+    }
+
+    TaskDef def;
+    def.name = name.text;
+    double value_mean = 1.0;
+    double value_stddev = 0.0;
+    while (Check(TokenKind::kIdentifier)) {
+      const Token attr = Advance();
+      if (Status status = Expect(TokenKind::kColon); !status.ok()) {
+        return status;
+      }
+      if (attr.text == "duration") {
+        if (!Check(TokenKind::kDuration) && !Check(TokenKind::kNumber)) {
+          return ErrorAt(Peek(), "expected a duration");
+        }
+        const Token token = Advance();
+        def.work.duration =
+            token.kind == TokenKind::kDuration
+                ? token.duration
+                : static_cast<SimDuration>(token.number * static_cast<double>(kMillisecond));
+      } else if (attr.text == "power") {
+        if (!Check(TokenKind::kPower) && !Check(TokenKind::kNumber)) {
+          return ErrorAt(Peek(), "expected a power (e.g. 9mW)");
+        }
+        const Token token = Advance();
+        def.work.power = token.kind == TokenKind::kPower ? token.power : token.number;
+      } else if (attr.text == "value") {
+        if (Check(TokenKind::kNumber)) {
+          value_mean = Advance().number;
+          value_stddev = 0.0;
+        } else if (Check(TokenKind::kIdentifier) && Peek().text == "gaussian") {
+          Advance();
+          if (Status status = Expect(TokenKind::kLParen); !status.ok()) {
+            return status;
+          }
+          if (!Check(TokenKind::kNumber)) {
+            return ErrorAt(Peek(), "expected the gaussian mean");
+          }
+          value_mean = Advance().number;
+          if (Status status = Expect(TokenKind::kComma); !status.ok()) {
+            return status;
+          }
+          if (!Check(TokenKind::kNumber)) {
+            return ErrorAt(Peek(), "expected the gaussian stddev");
+          }
+          value_stddev = Advance().number;
+          if (Status status = Expect(TokenKind::kRParen); !status.ok()) {
+            return status;
+          }
+        } else {
+          return ErrorAt(Peek(), "expected a number or gaussian(mean, stddev)");
+        }
+      } else if (attr.text == "monitors") {
+        if (!Check(TokenKind::kIdentifier)) {
+          return ErrorAt(Peek(), "expected a variable name");
+        }
+        def.monitored_var = Advance().text;
+      } else {
+        return ErrorAt(attr, "unknown task attribute '" + attr.text + "'");
+      }
+      if (Status status = Expect(TokenKind::kSemicolon); !status.ok()) {
+        return status;
+      }
+    }
+    if (Status status = Expect(TokenKind::kRBrace); !status.ok()) {
+      return status;
+    }
+
+    const bool monitored = def.monitored_var.has_value();
+    def.effect = [value_mean, value_stddev, monitored](TaskContext& ctx) {
+      const double value =
+          value_stddev > 0.0 ? ctx.rng().Gaussian(value_mean, value_stddev) : value_mean;
+      ctx.Push(value);
+      if (monitored) {
+        ctx.SetMonitored(value);
+      }
+    };
+    app->graph.AddTask(std::move(def));
+    return Status::Ok();
+  }
+
+  Status ParsePath(AppDescription* app) {
+    const Token keyword = Advance();  // 'path'
+    if (!Check(TokenKind::kNumber)) {
+      return ErrorAt(Peek(), "expected the path number");
+    }
+    const PathId number = static_cast<PathId>(Advance().number);
+    if (number != app->graph.path_count() + 1) {
+      return ErrorAt(keyword, "paths must be declared in order; expected path " +
+                                  std::to_string(app->graph.path_count() + 1));
+    }
+    if (Status status = Expect(TokenKind::kColon); !status.ok()) {
+      return status;
+    }
+    std::vector<std::string> names;
+    while (true) {
+      if (!Check(TokenKind::kIdentifier)) {
+        return ErrorAt(Peek(), "expected a task name in the path");
+      }
+      names.push_back(Advance().text);
+      if (!Check(TokenKind::kArrow)) {
+        break;
+      }
+      Advance();
+    }
+    if (Status status = Expect(TokenKind::kSemicolon); !status.ok()) {
+      return status;
+    }
+    StatusOr<PathId> added = app->graph.AddPathByNames(names);
+    if (!added.ok()) {
+      return Status::NotFound("line " + std::to_string(keyword.line) + ": " +
+                              added.status().message());
+    }
+    return Status::Ok();
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  Status Expect(TokenKind kind) {
+    if (Check(kind)) {
+      Advance();
+      return Status::Ok();
+    }
+    return ErrorAt(Peek(), std::string("expected ") + TokenKindName(kind) + ", found " +
+                               Peek().Describe());
+  }
+  Status ExpectKeyword(const std::string& word) {
+    if (Check(TokenKind::kIdentifier) && Peek().text == word) {
+      Advance();
+      return Status::Ok();
+    }
+    return ErrorAt(Peek(), "expected '" + word + "'");
+  }
+  Status ErrorAt(const Token& token, const std::string& message) const {
+    return Status::Invalid("line " + std::to_string(token.line) + ":" +
+                           std::to_string(token.column) + ": " + message);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<AppDescription> ParseAppDescription(std::string_view source) {
+  std::vector<Token> tokens = Lexer(source).Tokenize();
+  if (!tokens.empty() && tokens.back().kind == TokenKind::kError) {
+    const Token& bad = tokens.back();
+    return Status::Invalid("lex error at line " + std::to_string(bad.line) + ": unexpected '" +
+                           bad.text + "'");
+  }
+  return Parser(std::move(tokens)).Run();
+}
+
+}  // namespace artemis

@@ -1,0 +1,42 @@
+// Application description language: the textual counterpart of Figure 4's
+// task and path declarations, so applications can be described, checked, and
+// simulated without recompiling (the artemisc --app-file flow).
+//
+// Syntax:
+//
+//   app health {
+//     task bodyTemp { duration: 20ms; power: 2mW; value: gaussian(36.6, 0.15); }
+//     task calcAvg  { duration: 40ms; power: 660uW; monitors: avgTemp; }
+//     task send     { duration: 80ms; power: 24mW; }
+//     path 1: bodyTemp -> calcAvg -> send;
+//     path 2: send;
+//   }
+//
+// Task attributes: `duration` and `power` give the work model; `value`
+// (a constant or gaussian(mean, stddev)) is the sample the task pushes per
+// committed run (default 1.0); `monitors: <var>` declares the Figure 4
+// monitored dependent variable, set to the pushed value at commit.
+// Path numbers must be declared in order 1..N.
+#ifndef SRC_SPEC_APP_LANG_H_
+#define SRC_SPEC_APP_LANG_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/kernel/app_graph.h"
+
+namespace artemis {
+
+struct AppDescription {
+  std::string name;
+  AppGraph graph;
+};
+
+// Parses an app description and builds the executable graph (tasks carry
+// synthetic push-value effects per the `value` attribute).
+StatusOr<AppDescription> ParseAppDescription(std::string_view source);
+
+}  // namespace artemis
+
+#endif  // SRC_SPEC_APP_LANG_H_

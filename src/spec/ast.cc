@@ -1,0 +1,125 @@
+#include "src/spec/ast.h"
+
+#include <sstream>
+
+#include "src/base/units.h"
+
+namespace artemis {
+
+const char* PropertyKindName(PropertyKind kind) {
+  switch (kind) {
+    case PropertyKind::kMaxTries:
+      return "maxTries";
+    case PropertyKind::kMaxDuration:
+      return "maxDuration";
+    case PropertyKind::kMitd:
+      return "MITD";
+    case PropertyKind::kCollect:
+      return "collect";
+    case PropertyKind::kDpData:
+      return "dpData";
+    case PropertyKind::kPeriod:
+      return "period";
+    case PropertyKind::kMinEnergy:
+      return "minEnergy";
+  }
+  return "?";
+}
+
+std::string PropertyAst::Label(const std::string& task_name) const {
+  std::string label = PropertyKindName(kind);
+  label += '(';
+  label += task_name;
+  if (!dp_task.empty()) {
+    label += "<-" + dp_task;
+  }
+  label += ')';
+  return label;
+}
+
+std::size_t SpecAst::PropertyCount() const {
+  std::size_t n = 0;
+  for (const TaskBlockAst& block : blocks) {
+    n += block.properties.size();
+  }
+  return n;
+}
+
+bool ParseActionName(const std::string& name, ActionType* out) {
+  if (name == "restartPath") {
+    *out = ActionType::kRestartPath;
+  } else if (name == "skipPath") {
+    *out = ActionType::kSkipPath;
+  } else if (name == "restartTask") {
+    *out = ActionType::kRestartTask;
+  } else if (name == "skipTask") {
+    *out = ActionType::kSkipTask;
+  } else if (name == "completePath") {
+    *out = ActionType::kCompletePath;
+  } else {
+    *out = ActionType::kNone;
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+void PrettyProperty(std::ostringstream& out, const PropertyAst& p) {
+  out << "  " << PropertyKindName(p.kind) << ": ";
+  switch (p.kind) {
+    case PropertyKind::kMaxTries:
+    case PropertyKind::kCollect:
+      out << p.count;
+      break;
+    case PropertyKind::kMaxDuration:
+    case PropertyKind::kMitd:
+    case PropertyKind::kPeriod:
+      out << DurationLiteral(p.duration);
+      break;
+    case PropertyKind::kDpData:
+      out << p.dp_data_var;
+      break;
+    case PropertyKind::kMinEnergy:
+      out << p.min_energy;
+      break;
+  }
+  if (!p.dp_task.empty()) {
+    out << " dpTask: " << p.dp_task;
+  }
+  if (p.has_range) {
+    out << " Range: [" << p.range_lo << ", " << p.range_hi << ']';
+  }
+  if (p.jitter != 0) {
+    out << " jitter: " << DurationLiteral(p.jitter);
+  }
+  if (p.has_on_fail) {
+    out << " onFail: " << ActionTypeName(p.on_fail);
+  }
+  if (p.max_attempt != 0) {
+    out << " maxAttempt: " << p.max_attempt;
+    if (p.has_max_attempt_action) {
+      out << " onFail: " << ActionTypeName(p.max_attempt_action);
+    }
+  }
+  if (p.path != kNoPath) {
+    out << " Path: " << p.path;
+  }
+  out << ";\n";
+}
+
+}  // namespace
+
+std::string SpecAst::Pretty() const {
+  std::ostringstream out;
+  for (const TaskBlockAst& block : blocks) {
+    out << block.task << ": {\n";
+    for (const PropertyAst& p : block.properties) {
+      PrettyProperty(out, p);
+    }
+    out << "}\n\n";
+  }
+  return out.str();
+}
+
+}  // namespace artemis

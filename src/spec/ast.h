@@ -1,0 +1,78 @@
+// Abstract syntax tree of the ARTEMIS property specification language.
+//
+// Each task block groups property clauses for one task (Figure 5). Property
+// clauses carry the Table 1 constructs: the property key with its value plus
+// the dpTask / onFail / maxAttempt / Path / Range modifiers.
+#ifndef SRC_SPEC_AST_H_
+#define SRC_SPEC_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/kernel/checker.h"
+#include "src/kernel/task.h"
+
+namespace artemis {
+
+enum class PropertyKind : std::uint8_t {
+  kMaxTries,     // maxTries: N
+  kMaxDuration,  // maxDuration: D
+  kMitd,         // MITD: D dpTask: B
+  kCollect,      // collect: N dpTask: B
+  kDpData,       // dpData: var Range: [lo, hi]
+  kPeriod,       // period: D [jitter: J]
+  kMinEnergy,    // minEnergy: F  (Section 4.2.2 extension)
+};
+
+const char* PropertyKindName(PropertyKind kind);
+
+struct PropertyAst {
+  PropertyKind kind = PropertyKind::kMaxTries;
+
+  // Main value (which field is meaningful depends on `kind`).
+  std::uint64_t count = 0;      // maxTries, collect
+  SimDuration duration = 0;     // maxDuration, MITD, period
+  std::string dp_data_var;      // dpData variable name
+  double min_energy = 0.0;      // minEnergy fraction in (0, 1]
+
+  // Modifiers.
+  std::string dp_task;                              // dpTask: <task>
+  ActionType on_fail = ActionType::kNone;           // first onFail
+  bool has_on_fail = false;
+  std::uint32_t max_attempt = 0;                    // maxAttempt: N
+  ActionType max_attempt_action = ActionType::kNone;  // onFail after maxAttempt
+  bool has_max_attempt_action = false;
+  PathId path = kNoPath;                            // Path: N
+  double range_lo = 0.0, range_hi = 0.0;            // Range: [lo, hi]
+  bool has_range = false;
+  SimDuration jitter = 0;                           // jitter: D (period only)
+
+  int line = 0;
+
+  // Human-readable label for traces, e.g. "MITD(send<-accel)".
+  std::string Label(const std::string& task_name) const;
+};
+
+struct TaskBlockAst {
+  std::string task;
+  std::vector<PropertyAst> properties;
+  int line = 0;
+};
+
+struct SpecAst {
+  std::vector<TaskBlockAst> blocks;
+
+  std::size_t PropertyCount() const;
+  // Round-trips the AST back to Figure 5 style surface syntax.
+  std::string Pretty() const;
+};
+
+// Maps an onFail action identifier to the ActionType; returns kNone with
+// ok=false for unknown identifiers.
+bool ParseActionName(const std::string& name, ActionType* out);
+
+}  // namespace artemis
+
+#endif  // SRC_SPEC_AST_H_

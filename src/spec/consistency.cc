@@ -1,0 +1,226 @@
+#include "src/spec/consistency.h"
+
+#include <algorithm>
+
+#include "src/base/units.h"
+#include "src/sim/cost_model.h"
+
+namespace artemis {
+namespace {
+
+// Minimal per-boundary bookkeeping the runtime adds around each task, used
+// to decide how much slack "risky" properties have. Kept deliberately
+// smaller than any real cost model so the analysis never reports false
+// unsatisfiability.
+constexpr SimDuration kBoundarySlack = kMillisecond;
+
+void Add(std::vector<ConsistencyFinding>* findings, ConsistencySeverity severity,
+         const std::string& property, std::string message) {
+  findings->push_back(ConsistencyFinding{severity, property, std::move(message)});
+}
+
+}  // namespace
+
+const char* ConsistencySeverityName(ConsistencySeverity severity) {
+  switch (severity) {
+    case ConsistencySeverity::kUnsatisfiable:
+      return "UNSATISFIABLE";
+    case ConsistencySeverity::kConflict:
+      return "CONFLICT";
+    case ConsistencySeverity::kRisky:
+      return "RISKY";
+  }
+  return "?";
+}
+
+std::optional<SimDuration> BestCaseInterTaskDelay(const AppGraph& graph, PathId path,
+                                                  TaskId from, TaskId to) {
+  const auto& tasks = graph.path(path);
+  const auto from_it = std::find(tasks.begin(), tasks.end(), from);
+  const auto to_it = std::find(tasks.begin(), tasks.end(), to);
+  if (from_it == tasks.end() || to_it == tasks.end() || from_it >= to_it) {
+    return std::nullopt;
+  }
+  SimDuration delay = 0;
+  for (auto it = from_it + 1; it != to_it; ++it) {
+    delay += graph.task(*it).work.duration + kBoundarySlack;
+  }
+  return delay + kBoundarySlack;
+}
+
+SimDuration BestCasePathTime(const AppGraph& graph, PathId path) {
+  SimDuration total = 0;
+  for (const TaskId task : graph.path(path)) {
+    total += graph.task(task).work.duration + kBoundarySlack;
+  }
+  return total;
+}
+
+std::vector<ConsistencyFinding> ConsistencyChecker::Analyze(const SpecAst& spec,
+                                                            const AppGraph& graph) {
+  std::vector<ConsistencyFinding> findings;
+
+  for (const TaskBlockAst& block : spec.blocks) {
+    const std::optional<TaskId> anchor = graph.FindTask(block.task);
+    if (!anchor.has_value()) {
+      continue;  // Name errors are the validator's job.
+    }
+    const SimDuration work = graph.task(*anchor).work.duration;
+
+    for (const PropertyAst& p : block.properties) {
+      const std::string label = p.Label(block.task);
+      switch (p.kind) {
+        case PropertyKind::kMaxDuration: {
+          if (p.duration < work) {
+            Add(&findings, ConsistencySeverity::kUnsatisfiable, label,
+                "limit " + DurationLiteral(p.duration) + " is below the task's own work time " +
+                    DurationLiteral(work) + "; even a failure-free execution violates it");
+          } else if (p.duration < work + 2 * kBoundarySlack) {
+            Add(&findings, ConsistencySeverity::kRisky, label,
+                "limit leaves no slack over the task's work time; any power failure "
+                "during the task violates it");
+          }
+          break;
+        }
+        case PropertyKind::kMitd: {
+          const std::optional<TaskId> dep = graph.FindTask(p.dp_task);
+          if (!dep.has_value()) {
+            break;
+          }
+          // Evaluate on the property's scoped path, or on every shared path.
+          std::vector<PathId> paths;
+          if (p.path != kNoPath) {
+            paths.push_back(p.path);
+          } else {
+            for (const PathId candidate : graph.PathsContaining(*anchor)) {
+              paths.push_back(candidate);
+            }
+          }
+          bool satisfiable_somewhere = false;
+          for (const PathId path : paths) {
+            const std::optional<SimDuration> delay =
+                BestCaseInterTaskDelay(graph, path, *dep, *anchor);
+            if (!delay.has_value()) {
+              continue;
+            }
+            if (*delay <= p.duration) {
+              satisfiable_somewhere = true;
+            } else {
+              Add(&findings, ConsistencySeverity::kUnsatisfiable, label,
+                  "on path #" + std::to_string(path) + " the tasks between '" + p.dp_task +
+                      "' and '" + block.task + "' alone take " + DurationLiteral(*delay) +
+                      ", beyond the " + DurationLiteral(p.duration) + " window");
+            }
+          }
+          (void)satisfiable_somewhere;
+          break;
+        }
+        case PropertyKind::kPeriod: {
+          // The task can recur no faster than one traversal of its shortest
+          // containing path.
+          const std::vector<PathId> paths = graph.PathsContaining(*anchor);
+          if (paths.empty()) {
+            break;
+          }
+          SimDuration best = BestCasePathTime(graph, paths.front());
+          for (const PathId path : paths) {
+            best = std::min(best, BestCasePathTime(graph, path));
+          }
+          if (p.duration + p.jitter < best) {
+            Add(&findings, ConsistencySeverity::kUnsatisfiable, label,
+                "period+jitter " + DurationLiteral(p.duration + p.jitter) +
+                    " is shorter than the best-case recurrence " + DurationLiteral(best) +
+                    " of the task's shortest path");
+          }
+          break;
+        }
+        case PropertyKind::kCollect:
+          // The Figure 7 literal semantics (reset-on-fail) can never
+          // converge when each path iteration delivers fewer samples than
+          // the requirement: every restart clears the progress.
+          // Accumulating semantics (our default) always converge, so only a
+          // conflict with an explicit reset would matter; the lowering
+          // option is not visible in the AST, so flag the structural risk.
+          if (p.count > 1 && p.on_fail == ActionType::kRestartPath) {
+            const std::optional<TaskId> dep = graph.FindTask(p.dp_task);
+            if (dep.has_value()) {
+              Add(&findings, ConsistencySeverity::kRisky, label,
+                  "requires " + std::to_string(p.count) +
+                      " samples per activation; under reset-on-fail collect semantics "
+                      "(Figure 7 literal) a path restart clears progress and the "
+                      "property can never be met — accumulate semantics required");
+            }
+          }
+          break;
+        case PropertyKind::kMaxTries:
+        case PropertyKind::kDpData:
+        case PropertyKind::kMinEnergy:
+          break;
+      }
+    }
+
+    // Cross-property conflicts within one block: a maxDuration tighter than
+    // an MITD window forces skipping before the MITD can ever be re-checked
+    // is fine; the actionable conflict is period vs maxDuration.
+    const PropertyAst* period = nullptr;
+    const PropertyAst* max_duration = nullptr;
+    for (const PropertyAst& p : block.properties) {
+      if (p.kind == PropertyKind::kPeriod) {
+        period = &p;
+      }
+      if (p.kind == PropertyKind::kMaxDuration) {
+        max_duration = &p;
+      }
+    }
+    if (period != nullptr && max_duration != nullptr &&
+        max_duration->duration > period->duration + period->jitter) {
+      Add(&findings, ConsistencySeverity::kConflict, period->Label(block.task),
+          "the task may legally run for " + DurationLiteral(max_duration->duration) +
+              " (maxDuration) which alone exceeds its period bound " +
+              DurationLiteral(period->duration + period->jitter) +
+              "; both properties cannot hold for consecutive executions");
+    }
+  }
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const ConsistencyFinding& a, const ConsistencyFinding& b) {
+                     return static_cast<int>(a.severity) < static_cast<int>(b.severity);
+                   });
+  return findings;
+}
+
+std::vector<EnergyFeasibilityFinding> AnalyzeEnergyFeasibility(const AppGraph& graph,
+                                                               EnergyUj budget_uj) {
+  std::vector<EnergyFeasibilityFinding> findings;
+  // Fixed costs an attempt pays besides the task body: the boot restore plus
+  // the boundary/event bookkeeping (see sim/cost_model.h). Approximated with
+  // the default model; a feasible verdict with < 5% headroom would still be
+  // fragile, which the caller can see from the per_attempt/budget ratio.
+  const CostModel& costs = DefaultCostModel();
+  const EnergyUj overhead =
+      EnergyFor(costs.mcu_active_power,
+                costs.CyclesToTime(costs.reboot_restore_cycles + costs.kernel_boundary_cycles +
+                                   costs.event_build_cycles + costs.monitor_call_cycles));
+  for (TaskId task = 0; task < graph.task_count(); ++task) {
+    const TaskDef& def = graph.task(task);
+    EnergyFeasibilityFinding finding;
+    finding.task = task;
+    finding.task_name = def.name;
+    finding.per_attempt = EnergyFor(def.work.power, def.work.duration) + overhead;
+    finding.budget = budget_uj;
+    finding.feasible = finding.per_attempt <= budget_uj;
+    findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
+bool ConsistencyChecker::IsConsistent(const SpecAst& spec, const AppGraph& graph) {
+  for (const ConsistencyFinding& finding : Analyze(spec, graph)) {
+    if (finding.severity != ConsistencySeverity::kRisky) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace artemis

@@ -1,0 +1,75 @@
+// Time-aware consistency analysis of property specifications — the
+// Section 7 "Property Consistency Checking" future-work item.
+//
+// "Inconsistency means that there is no sequence of task executions that
+// satisfies all constraints." Rather than full model checking, this analysis
+// evaluates each property against the application's *modelled* best-case
+// timing (task work durations, path structure) and flags:
+//   * kUnsatisfiable — no failure-free execution can satisfy the property
+//     (e.g. a maxDuration below the task's own work time, an MITD below the
+//     unavoidable delay between producer and consumer on the path);
+//   * kConflict — two properties that cannot both hold (e.g. a period
+//     shorter than a dependency's MITD forces, or collect counts that
+//     exceed what the producing path can deliver per consumer activation
+//     under the property's own restart action);
+//   * kRisky — satisfiable only without any power failure (no slack).
+#ifndef SRC_SPEC_CONSISTENCY_H_
+#define SRC_SPEC_CONSISTENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/kernel/app_graph.h"
+#include "src/spec/ast.h"
+
+namespace artemis {
+
+enum class ConsistencySeverity { kUnsatisfiable, kConflict, kRisky };
+
+const char* ConsistencySeverityName(ConsistencySeverity severity);
+
+struct ConsistencyFinding {
+  ConsistencySeverity severity;
+  std::string property;  // label of the offending property
+  std::string message;
+};
+
+class ConsistencyChecker {
+ public:
+  // Analyses a parsed (and name-valid) spec against the graph's modelled
+  // task timings. Returns findings ordered by severity.
+  static std::vector<ConsistencyFinding> Analyze(const SpecAst& spec, const AppGraph& graph);
+
+  // Convenience: true when no kUnsatisfiable/kConflict findings exist.
+  static bool IsConsistent(const SpecAst& spec, const AppGraph& graph);
+};
+
+// Best-case delay between the completion of `from` and the next start of
+// `to` along `path` (sum of intervening task work), or nullopt when the
+// order never occurs on that path. Exposed for tests.
+std::optional<SimDuration> BestCaseInterTaskDelay(const AppGraph& graph, PathId path,
+                                                  TaskId from, TaskId to);
+
+// Best-case duration of one full traversal of `path` (sum of task work).
+SimDuration BestCasePathTime(const AppGraph& graph, PathId path);
+
+// ETAP-style static energy feasibility (Table 3's compile-time comparator
+// class): given the per-on-period energy budget of the target device,
+// reports tasks whose single execution cannot fit one on-period — the
+// static signature of the non-termination ARTEMIS catches at runtime with
+// maxTries. `budget_uj` is the usable energy per charge cycle; `idle_power`
+// is the MCU's active draw used for the kernel's boundary overhead.
+struct EnergyFeasibilityFinding {
+  TaskId task = kInvalidTask;
+  std::string task_name;
+  EnergyUj per_attempt = 0.0;  // Energy one execution attempt needs.
+  EnergyUj budget = 0.0;
+  bool feasible = true;
+};
+
+std::vector<EnergyFeasibilityFinding> AnalyzeEnergyFeasibility(const AppGraph& graph,
+                                                               EnergyUj budget_uj);
+
+}  // namespace artemis
+
+#endif  // SRC_SPEC_CONSISTENCY_H_

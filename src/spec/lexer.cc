@@ -1,0 +1,165 @@
+#include "src/spec/lexer.h"
+
+#include <cctype>
+
+#include "src/base/units.h"
+
+namespace artemis {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+}  // namespace
+
+Lexer::Lexer(std::string_view source) : source_(source) {}
+
+char Lexer::Peek(int ahead) const {
+  const std::size_t at = pos_ + static_cast<std::size_t>(ahead);
+  return at < source_.size() ? source_[at] : '\0';
+}
+
+char Lexer::Advance() {
+  const char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    const char c = Peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      Advance();
+    } else if (c == '#' || (c == '/' && Peek(1) == '/')) {
+      while (!AtEnd() && Peek() != '\n') {
+        Advance();
+      }
+    } else if (c == '/' && Peek(1) == '*') {
+      Advance();
+      Advance();
+      while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) {
+        Advance();
+      }
+      if (!AtEnd()) {
+        Advance();
+        Advance();
+      }
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::Make(TokenKind kind, std::string text) const {
+  Token token;
+  token.kind = kind;
+  token.text = std::move(text);
+  token.line = token_line_;
+  token.column = token_column_;
+  return token;
+}
+
+Token Lexer::Next() {
+  SkipWhitespaceAndComments();
+  token_line_ = line_;
+  token_column_ = column_;
+  if (AtEnd()) {
+    return Make(TokenKind::kEndOfInput, "");
+  }
+  const char c = Advance();
+  switch (c) {
+    case ':':
+      return Make(TokenKind::kColon, ":");
+    case ';':
+      return Make(TokenKind::kSemicolon, ";");
+    case '{':
+      return Make(TokenKind::kLBrace, "{");
+    case '}':
+      return Make(TokenKind::kRBrace, "}");
+    case '[':
+      return Make(TokenKind::kLBracket, "[");
+    case ']':
+      return Make(TokenKind::kRBracket, "]");
+    case '(':
+      return Make(TokenKind::kLParen, "(");
+    case ')':
+      return Make(TokenKind::kRParen, ")");
+    case ',':
+      return Make(TokenKind::kComma, ",");
+    case '-':
+      if (Peek() == '>') {
+        Advance();
+        return Make(TokenKind::kArrow, "->");
+      }
+      break;  // Falls through to the number path ("-3").
+    default:
+      break;
+  }
+
+  if (IsIdentStart(c)) {
+    std::string text(1, c);
+    while (!AtEnd() && IsIdentChar(Peek())) {
+      text += Advance();
+    }
+    return Make(TokenKind::kIdentifier, std::move(text));
+  }
+
+  if (IsDigit(c) || (c == '-' && IsDigit(Peek()))) {
+    std::string text(1, c);
+    bool seen_dot = false;
+    while (!AtEnd() && (IsDigit(Peek()) || (Peek() == '.' && !seen_dot))) {
+      seen_dot = seen_dot || Peek() == '.';
+      text += Advance();
+    }
+    // A unit suffix glued to the number makes it a duration or power
+    // literal.
+    if (!AtEnd() && IsIdentStart(Peek())) {
+      std::string unit;
+      while (!AtEnd() && IsIdentChar(Peek())) {
+        unit += Advance();
+      }
+      if (const std::optional<SimDuration> d = ParseDuration(text + unit); d.has_value()) {
+        Token token = Make(TokenKind::kDuration, text + unit);
+        token.duration = *d;
+        return token;
+      }
+      if (const std::optional<Milliwatts> p = ParsePower(text + unit); p.has_value()) {
+        Token token = Make(TokenKind::kPower, text + unit);
+        token.power = *p;
+        return token;
+      }
+      return Make(TokenKind::kError, text + unit);
+    }
+    Token token = Make(TokenKind::kNumber, text);
+    token.number = std::stod(text);
+    return token;
+  }
+
+  return Make(TokenKind::kError, std::string(1, c));
+}
+
+std::vector<Token> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    Token token = Next();
+    const bool stop =
+        token.kind == TokenKind::kEndOfInput || token.kind == TokenKind::kError;
+    tokens.push_back(std::move(token));
+    if (stop) {
+      break;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace artemis

@@ -1,0 +1,45 @@
+// Lexer for the ARTEMIS property specification language.
+//
+// Handles the Figure 5 surface syntax: identifiers, numbers, duration
+// literals with attached units (5min, 100ms), punctuation, line comments
+// (// and #) and block comments (/* */).
+#ifndef SRC_SPEC_LEXER_H_
+#define SRC_SPEC_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/spec/token.h"
+
+namespace artemis {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source);
+
+  // Tokenizes the entire input. The final token is always kEndOfInput.
+  // Malformed input yields a kError token at the offending position and
+  // stops.
+  std::vector<Token> Tokenize();
+
+ private:
+  Token Next();
+  void SkipWhitespaceAndComments();
+  char Peek(int ahead = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= source_.size(); }
+  Token Make(TokenKind kind, std::string text) const;
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  int token_line_ = 1;
+  int token_column_ = 1;
+};
+
+}  // namespace artemis
+
+#endif  // SRC_SPEC_LEXER_H_

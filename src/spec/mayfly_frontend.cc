@@ -1,0 +1,134 @@
+#include "src/spec/mayfly_frontend.h"
+
+#include <map>
+#include <vector>
+
+#include "src/spec/lexer.h"
+
+namespace artemis {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<SpecAst> Run() {
+    // Gather properties per consuming task, then emit one block per task in
+    // first-appearance order.
+    std::vector<std::string> task_order;
+    std::map<std::string, TaskBlockAst> blocks;
+
+    while (!Check(TokenKind::kEndOfInput)) {
+      if (!Check(TokenKind::kIdentifier)) {
+        return ErrorAt(Peek(), "expected 'expires' or 'collect'");
+      }
+      const Token keyword = Advance();
+      PropertyAst property;
+      property.line = keyword.line;
+      if (keyword.text == "expires") {
+        property.kind = PropertyKind::kMitd;
+      } else if (keyword.text == "collect") {
+        property.kind = PropertyKind::kCollect;
+      } else {
+        return ErrorAt(keyword, "unknown construct '" + keyword.text + "'");
+      }
+      // Mayfly's reaction is always a task-graph (path) restart.
+      property.on_fail = ActionType::kRestartPath;
+      property.has_on_fail = true;
+
+      if (Status status = Expect(TokenKind::kLParen); !status.ok()) {
+        return status;
+      }
+      if (!Check(TokenKind::kIdentifier)) {
+        return ErrorAt(Peek(), "expected the producing task");
+      }
+      property.dp_task = Advance().text;
+      if (Status status = Expect(TokenKind::kArrow); !status.ok()) {
+        return status;
+      }
+      if (!Check(TokenKind::kIdentifier)) {
+        return ErrorAt(Peek(), "expected the consuming task");
+      }
+      const std::string consumer = Advance().text;
+      if (Status status = Expect(TokenKind::kComma); !status.ok()) {
+        return status;
+      }
+      if (property.kind == PropertyKind::kMitd) {
+        if (Check(TokenKind::kDuration)) {
+          property.duration = Advance().duration;
+        } else if (Check(TokenKind::kNumber)) {
+          property.duration = static_cast<SimDuration>(Advance().number *
+                                                       static_cast<double>(kMillisecond));
+        } else {
+          return ErrorAt(Peek(), "expected an expiration window");
+        }
+      } else {
+        if (!Check(TokenKind::kNumber)) {
+          return ErrorAt(Peek(), "expected a sample count");
+        }
+        property.count = static_cast<std::uint64_t>(Advance().number);
+      }
+      if (Status status = Expect(TokenKind::kRParen); !status.ok()) {
+        return status;
+      }
+      // Optional: "path N".
+      if (Check(TokenKind::kIdentifier) && Peek().text == "path") {
+        Advance();
+        if (!Check(TokenKind::kNumber)) {
+          return ErrorAt(Peek(), "expected a path number");
+        }
+        property.path = static_cast<PathId>(Advance().number);
+      }
+      if (Status status = Expect(TokenKind::kSemicolon); !status.ok()) {
+        return status;
+      }
+
+      if (blocks.find(consumer) == blocks.end()) {
+        task_order.push_back(consumer);
+        blocks[consumer].task = consumer;
+        blocks[consumer].line = keyword.line;
+      }
+      blocks[consumer].properties.push_back(std::move(property));
+    }
+
+    SpecAst spec;
+    for (const std::string& task : task_order) {
+      spec.blocks.push_back(std::move(blocks[task]));
+    }
+    return spec;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  Status Expect(TokenKind kind) {
+    if (Check(kind)) {
+      Advance();
+      return Status::Ok();
+    }
+    return ErrorAt(Peek(), std::string("expected ") + TokenKindName(kind) + ", found " +
+                               Peek().Describe());
+  }
+  Status ErrorAt(const Token& token, const std::string& message) const {
+    return Status::Invalid("line " + std::to_string(token.line) + ":" +
+                           std::to_string(token.column) + ": " + message);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<SpecAst> MayflyFrontend::Parse(std::string_view source) {
+  std::vector<Token> tokens = Lexer(source).Tokenize();
+  if (!tokens.empty() && tokens.back().kind == TokenKind::kError) {
+    const Token& bad = tokens.back();
+    return Status::Invalid("lex error at line " + std::to_string(bad.line) + ": unexpected '" +
+                           bad.text + "'");
+  }
+  return Parser(std::move(tokens)).Run();
+}
+
+}  // namespace artemis

@@ -1,0 +1,34 @@
+// An alternative property-specification frontend in Mayfly's idiom,
+// demonstrating the Section 7 "Support for Other Languages" claim: multiple
+// surface languages can target the common AST (and therefore the common
+// intermediate language and monitor generation) through small translators.
+//
+// Surface syntax (dataflow-edge annotations, Mayfly-style):
+//
+//   expires(accel -> send, 5min) path 2;   // data freshness on an edge
+//   collect(bodyTemp -> calcAvg, 10);      // sample count on an edge
+//
+// Both constructs translate to ARTEMIS properties on the *consuming* task:
+// expires -> MITD, collect -> collect, each with Mayfly's fixed reaction
+// (restartPath). Everything downstream — validation, lowering, monitor
+// generation, the runtime — is shared with the native frontend.
+#ifndef SRC_SPEC_MAYFLY_FRONTEND_H_
+#define SRC_SPEC_MAYFLY_FRONTEND_H_
+
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/spec/ast.h"
+
+namespace artemis {
+
+class MayflyFrontend {
+ public:
+  // Parses Mayfly-style source into the common SpecAst. Diagnostics carry
+  // line/column positions.
+  static StatusOr<SpecAst> Parse(std::string_view source);
+};
+
+}  // namespace artemis
+
+#endif  // SRC_SPEC_MAYFLY_FRONTEND_H_

@@ -1,0 +1,248 @@
+#include "src/spec/parser.h"
+
+#include <cmath>
+
+#include "src/spec/lexer.h"
+
+namespace artemis {
+namespace {
+
+bool PropertyKeyFromName(const std::string& name, PropertyKind* out) {
+  if (name == "maxTries") {
+    *out = PropertyKind::kMaxTries;
+  } else if (name == "maxDuration") {
+    *out = PropertyKind::kMaxDuration;
+  } else if (name == "MITD") {
+    *out = PropertyKind::kMitd;
+  } else if (name == "collect") {
+    *out = PropertyKind::kCollect;
+  } else if (name == "dpData") {
+    *out = PropertyKind::kDpData;
+  } else if (name == "period") {
+    *out = PropertyKind::kPeriod;
+  } else if (name == "minEnergy") {
+    *out = PropertyKind::kMinEnergy;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<SpecAst> SpecParser::Parse(std::string_view source) {
+  std::vector<Token> tokens = Lexer(source).Tokenize();
+  if (!tokens.empty() && tokens.back().kind == TokenKind::kError) {
+    const Token& bad = tokens.back();
+    return Status::Invalid("lex error at line " + std::to_string(bad.line) + ":" +
+                           std::to_string(bad.column) + ": unexpected '" + bad.text + "'");
+  }
+  return SpecParser(std::move(tokens)).ParseSpec();
+}
+
+bool SpecParser::Match(TokenKind kind) {
+  if (Check(kind)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status SpecParser::Expect(TokenKind kind, const std::string& context) {
+  if (Check(kind)) {
+    Advance();
+    return Status::Ok();
+  }
+  return ErrorAt(Peek(), "expected " + std::string(TokenKindName(kind)) + " " + context +
+                             ", found " + Peek().Describe());
+}
+
+Status SpecParser::ErrorAt(const Token& token, const std::string& message) const {
+  return Status::Invalid("line " + std::to_string(token.line) + ":" +
+                         std::to_string(token.column) + ": " + message);
+}
+
+StatusOr<SpecAst> SpecParser::ParseSpec() {
+  SpecAst spec;
+  while (!Check(TokenKind::kEndOfInput)) {
+    const Status status = ParseBlock(&spec);
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return spec;
+}
+
+Status SpecParser::ParseBlock(SpecAst* spec) {
+  if (!Check(TokenKind::kIdentifier)) {
+    return ErrorAt(Peek(), "expected a task name, found " + Peek().Describe());
+  }
+  TaskBlockAst block;
+  block.task = Peek().text;
+  block.line = Peek().line;
+  Advance();
+  Match(TokenKind::kColon);  // Optional: both "send: {" and "calcAvg {" occur in Figure 5.
+  if (Status status = Expect(TokenKind::kLBrace, "to open task block '" + block.task + "'");
+      !status.ok()) {
+    return status;
+  }
+  while (!Check(TokenKind::kRBrace) && !Check(TokenKind::kEndOfInput)) {
+    if (Status status = ParseProperty(&block); !status.ok()) {
+      return status;
+    }
+  }
+  if (Status status = Expect(TokenKind::kRBrace, "to close task block '" + block.task + "'");
+      !status.ok()) {
+    return status;
+  }
+  spec->blocks.push_back(std::move(block));
+  return Status::Ok();
+}
+
+Status SpecParser::ParseProperty(TaskBlockAst* block) {
+  if (!Check(TokenKind::kIdentifier)) {
+    return ErrorAt(Peek(), "expected a property key, found " + Peek().Describe());
+  }
+  const Token key = Advance();
+  PropertyAst property;
+  property.line = key.line;
+  if (!PropertyKeyFromName(key.text, &property.kind)) {
+    return ErrorAt(key, "unknown property '" + key.text + "'");
+  }
+  if (Status status = Expect(TokenKind::kColon, "after property key"); !status.ok()) {
+    return status;
+  }
+
+  // Main value.
+  switch (property.kind) {
+    case PropertyKind::kMaxTries:
+    case PropertyKind::kCollect: {
+      if (!Check(TokenKind::kNumber)) {
+        return ErrorAt(Peek(), "expected a count, found " + Peek().Describe());
+      }
+      const double value = Advance().number;
+      if (value < 0 || value != std::floor(value)) {
+        return ErrorAt(key, "count must be a non-negative integer");
+      }
+      property.count = static_cast<std::uint64_t>(value);
+      break;
+    }
+    case PropertyKind::kMaxDuration:
+    case PropertyKind::kMitd:
+    case PropertyKind::kPeriod: {
+      if (Check(TokenKind::kDuration)) {
+        property.duration = Advance().duration;
+      } else if (Check(TokenKind::kNumber)) {
+        // Bare numbers default to milliseconds (ParseDuration convention).
+        property.duration =
+            static_cast<SimDuration>(Advance().number * static_cast<double>(kMillisecond));
+      } else {
+        return ErrorAt(Peek(), "expected a duration, found " + Peek().Describe());
+      }
+      break;
+    }
+    case PropertyKind::kDpData: {
+      if (!Check(TokenKind::kIdentifier)) {
+        return ErrorAt(Peek(), "expected a variable name, found " + Peek().Describe());
+      }
+      property.dp_data_var = Advance().text;
+      break;
+    }
+    case PropertyKind::kMinEnergy: {
+      if (!Check(TokenKind::kNumber)) {
+        return ErrorAt(Peek(), "expected an energy fraction, found " + Peek().Describe());
+      }
+      property.min_energy = Advance().number;
+      break;
+    }
+  }
+
+  if (Status status = ParseModifiers(&property); !status.ok()) {
+    return status;
+  }
+  if (Status status = Expect(TokenKind::kSemicolon, "to end the property"); !status.ok()) {
+    return status;
+  }
+  block->properties.push_back(std::move(property));
+  return Status::Ok();
+}
+
+Status SpecParser::ParseModifiers(PropertyAst* property) {
+  bool seen_max_attempt = false;
+  while (Check(TokenKind::kIdentifier)) {
+    const Token word = Advance();
+    if (Status status = Expect(TokenKind::kColon, "after '" + word.text + "'"); !status.ok()) {
+      return status;
+    }
+    if (word.text == "dpTask") {
+      if (!Check(TokenKind::kIdentifier)) {
+        return ErrorAt(Peek(), "expected a task name after dpTask");
+      }
+      property->dp_task = Advance().text;
+    } else if (word.text == "onFail") {
+      if (!Check(TokenKind::kIdentifier)) {
+        return ErrorAt(Peek(), "expected an action after onFail");
+      }
+      const Token action = Advance();
+      ActionType parsed = ActionType::kNone;
+      if (!ParseActionName(action.text, &parsed)) {
+        return ErrorAt(action, "unknown action '" + action.text + "'");
+      }
+      // The first onFail binds the property; an onFail after maxAttempt
+      // binds the attempt-exhausted case (Figure 5 line 6).
+      if (seen_max_attempt && !property->has_max_attempt_action) {
+        property->max_attempt_action = parsed;
+        property->has_max_attempt_action = true;
+      } else if (!property->has_on_fail) {
+        property->on_fail = parsed;
+        property->has_on_fail = true;
+      } else {
+        return ErrorAt(action, "duplicate onFail");
+      }
+    } else if (word.text == "maxAttempt") {
+      if (!Check(TokenKind::kNumber)) {
+        return ErrorAt(Peek(), "expected a count after maxAttempt");
+      }
+      property->max_attempt = static_cast<std::uint32_t>(Advance().number);
+      seen_max_attempt = true;
+    } else if (word.text == "Path") {
+      if (!Check(TokenKind::kNumber)) {
+        return ErrorAt(Peek(), "expected a path number after Path");
+      }
+      property->path = static_cast<PathId>(Advance().number);
+    } else if (word.text == "Range") {
+      if (Status status = Expect(TokenKind::kLBracket, "to open Range"); !status.ok()) {
+        return status;
+      }
+      if (!Check(TokenKind::kNumber)) {
+        return ErrorAt(Peek(), "expected the Range lower bound");
+      }
+      property->range_lo = Advance().number;
+      if (Status status = Expect(TokenKind::kComma, "between Range bounds"); !status.ok()) {
+        return status;
+      }
+      if (!Check(TokenKind::kNumber)) {
+        return ErrorAt(Peek(), "expected the Range upper bound");
+      }
+      property->range_hi = Advance().number;
+      if (Status status = Expect(TokenKind::kRBracket, "to close Range"); !status.ok()) {
+        return status;
+      }
+      property->has_range = true;
+    } else if (word.text == "jitter") {
+      if (Check(TokenKind::kDuration)) {
+        property->jitter = Advance().duration;
+      } else if (Check(TokenKind::kNumber)) {
+        property->jitter =
+            static_cast<SimDuration>(Advance().number * static_cast<double>(kMillisecond));
+      } else {
+        return ErrorAt(Peek(), "expected a duration after jitter");
+      }
+    } else {
+      return ErrorAt(word, "unknown modifier '" + word.text + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace artemis

@@ -1,0 +1,53 @@
+#include "src/spec/token.h"
+
+namespace artemis {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kDuration:
+      return "duration";
+    case TokenKind::kPower:
+      return "power";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kEndOfInput:
+      return "end of input";
+    case TokenKind::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  std::string out = TokenKindName(kind);
+  if (kind == TokenKind::kIdentifier || kind == TokenKind::kNumber ||
+      kind == TokenKind::kDuration || kind == TokenKind::kPower ||
+      kind == TokenKind::kError) {
+    out += " '" + text + "'";
+  }
+  return out;
+}
+
+}  // namespace artemis

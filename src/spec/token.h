@@ -1,0 +1,47 @@
+// Tokens of the ARTEMIS property specification language (Figure 5 syntax).
+#ifndef SRC_SPEC_TOKEN_H_
+#define SRC_SPEC_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/time.h"
+
+namespace artemis {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,  // micSense, maxTries, restartPath, ...
+  kNumber,      // 10, 36.5
+  kDuration,    // 5min, 100ms, 2s  (number immediately followed by a unit)
+  kPower,       // 9mW, 0.5W       (used by the app-description language)
+  kColon,
+  kSemicolon,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kLParen,   // Used by the Mayfly-style frontend.
+  kRParen,
+  kArrow,    // "->", the Mayfly-style dataflow edge.
+  kComma,
+  kEndOfInput,
+  kError,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfInput;
+  std::string text;          // Raw spelling.
+  double number = 0.0;       // For kNumber.
+  SimDuration duration = 0;  // For kDuration, in microsecond ticks.
+  Milliwatts power = 0.0;    // For kPower.
+  int line = 0;
+  int column = 0;
+
+  std::string Describe() const;
+};
+
+}  // namespace artemis
+
+#endif  // SRC_SPEC_TOKEN_H_

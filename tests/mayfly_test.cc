@@ -1,0 +1,198 @@
+// Tests for the Mayfly baseline: rule derivation from ARTEMIS specs,
+// fused expiration/collect semantics, and the livelock behaviour that
+// Figure 12 hinges on.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/health_app.h"
+#include "src/mayfly/mayfly.h"
+#include "src/spec/parser.h"
+
+namespace artemis {
+namespace {
+
+std::unique_ptr<Mcu> TestMcu(EnergyUj budget = 1e9, SimDuration charge = kSecond) {
+  return std::make_unique<Mcu>(std::make_unique<FixedChargePowerModel>(budget, charge),
+                               DefaultCostModel());
+}
+
+MonitorEvent Start(TaskId task, SimTime ts, PathId path = 1) {
+  return MonitorEvent{.kind = EventKind::kStartTask,
+                      .timestamp = ts,
+                      .task = task,
+                      .path = path,
+                      .seq = ts * 2 + 1,
+                      .has_dep_data = false,
+                      .dep_data = 0,
+                      .energy_fraction = 1.0};
+}
+
+MonitorEvent End(TaskId task, SimTime ts, PathId path = 1) {
+  return MonitorEvent{.kind = EventKind::kEndTask,
+                      .timestamp = ts,
+                      .task = task,
+                      .path = path,
+                      .seq = ts * 2 + 2,
+                      .has_dep_data = false,
+                      .dep_data = 0,
+                      .energy_fraction = 1.0};
+}
+
+TEST(MayflyFromSpecTest, KeepsOnlyExpressibleProperties) {
+  HealthApp app = BuildHealthApp();
+  auto parsed = SpecParser::Parse(HealthAppSpec());
+  auto spec = MayflyFromSpec(parsed.value(), app.graph);
+  ASSERT_TRUE(spec.ok());
+  // MITD + 3 collects survive; maxTries x2, maxDuration, dpData, and the
+  // MITD's maxAttempt escalation are dropped (Section 5.1.1).
+  EXPECT_EQ(spec.value().rules.size(), 4u);
+  EXPECT_EQ(spec.value().dropped.size(), 5u);
+  int expirations = 0, collects = 0;
+  for (const MayflyRule& rule : spec.value().rules) {
+    expirations += rule.kind == MayflyRule::Kind::kExpiration ? 1 : 0;
+    collects += rule.kind == MayflyRule::Kind::kCollect ? 1 : 0;
+  }
+  EXPECT_EQ(expirations, 1);
+  EXPECT_EQ(collects, 3);
+}
+
+TEST(MayflyFromSpecTest, ReportsUnknownDpTask) {
+  AppGraph graph;
+  graph.AddTask(TaskDef{.name = "t", .work = {}, .effect = nullptr, .monitored_var = std::nullopt});
+  graph.AddPath({0});
+  auto parsed = SpecParser::Parse("t: { collect: 1 dpTask: ghost onFail: restartPath; }");
+  EXPECT_FALSE(MayflyFromSpec(parsed.value(), graph).ok());
+}
+
+TEST(MayflyCheckerTest, ExpirationFiresOnStaleData) {
+  MayflyChecker checker;
+  checker.AddRule(MayflyRule{.kind = MayflyRule::Kind::kExpiration,
+                             .task = 1,
+                             .dep = 0,
+                             .expiry = kMinute,
+                             .count = 0,
+                             .path = kNoPath,
+                             .label = "exp"});
+  auto mcu = TestMcu();
+  checker.HardReset(*mcu);
+  EXPECT_FALSE(checker.OnEvent(End(0, 0), *mcu).verdict.violated());
+  EXPECT_FALSE(checker.OnEvent(Start(1, 30 * kSecond), *mcu).verdict.violated());
+  // Stale on a later start.
+  const CheckOutcome late = checker.OnEvent(Start(1, 10 * kMinute), *mcu);
+  EXPECT_EQ(late.verdict.action, ActionType::kRestartPath);
+}
+
+TEST(MayflyCheckerTest, ExpirationKeepsFiringForever) {
+  // The defining difference from ARTEMIS: no attempt bound.
+  MayflyChecker checker;
+  checker.AddRule(MayflyRule{.kind = MayflyRule::Kind::kExpiration,
+                             .task = 1,
+                             .dep = 0,
+                             .expiry = kMinute,
+                             .count = 0,
+                             .path = kNoPath,
+                             .label = "exp"});
+  auto mcu = TestMcu();
+  checker.HardReset(*mcu);
+  (void)checker.OnEvent(End(0, 0), *mcu);
+  for (int i = 1; i <= 20; ++i) {
+    const CheckOutcome outcome =
+        checker.OnEvent(Start(1, static_cast<SimTime>(i) * 10 * kMinute), *mcu);
+    EXPECT_EQ(outcome.verdict.action, ActionType::kRestartPath) << i;
+  }
+}
+
+TEST(MayflyCheckerTest, ExpirationRefreshedByNewCompletion) {
+  MayflyChecker checker;
+  checker.AddRule(MayflyRule{.kind = MayflyRule::Kind::kExpiration,
+                             .task = 1,
+                             .dep = 0,
+                             .expiry = kMinute,
+                             .count = 0,
+                             .path = kNoPath,
+                             .label = "exp"});
+  auto mcu = TestMcu();
+  checker.HardReset(*mcu);
+  (void)checker.OnEvent(End(0, 0), *mcu);
+  (void)checker.OnEvent(End(0, 10 * kMinute), *mcu);  // Fresh data.
+  EXPECT_FALSE(
+      checker.OnEvent(Start(1, 10 * kMinute + 30 * kSecond), *mcu).verdict.violated());
+}
+
+TEST(MayflyCheckerTest, CollectCountsAndConsumesAtCommit) {
+  MayflyChecker checker;
+  checker.AddRule(MayflyRule{.kind = MayflyRule::Kind::kCollect,
+                             .task = 1,
+                             .dep = 0,
+                             .expiry = 0,
+                             .count = 2,
+                             .path = kNoPath,
+                             .label = "col"});
+  auto mcu = TestMcu();
+  checker.HardReset(*mcu);
+  EXPECT_TRUE(checker.OnEvent(Start(1, 1), *mcu).verdict.violated());
+  (void)checker.OnEvent(End(0, 2), *mcu);
+  EXPECT_TRUE(checker.OnEvent(Start(1, 3), *mcu).verdict.violated());
+  (void)checker.OnEvent(End(0, 4), *mcu);
+  EXPECT_FALSE(checker.OnEvent(Start(1, 5), *mcu).verdict.violated());
+  // Re-delivered start before commit still passes.
+  EXPECT_FALSE(checker.OnEvent(Start(1, 6), *mcu).verdict.violated());
+  // Commit consumes.
+  (void)checker.OnEvent(End(1, 7), *mcu);
+  EXPECT_TRUE(checker.OnEvent(Start(1, 8), *mcu).verdict.violated());
+}
+
+TEST(MayflyCheckerTest, PathScopedRulesIgnoreOtherPaths) {
+  MayflyChecker checker;
+  checker.AddRule(MayflyRule{.kind = MayflyRule::Kind::kCollect,
+                             .task = 1,
+                             .dep = 0,
+                             .expiry = 0,
+                             .count = 1,
+                             .path = 2,
+                             .scope = 2,  // Consumer merged onto path 2.
+                             .label = "col"});
+  auto mcu = TestMcu();
+  checker.HardReset(*mcu);
+  EXPECT_FALSE(checker.OnEvent(Start(1, 1, /*path=*/1), *mcu).verdict.violated());
+  EXPECT_TRUE(checker.OnEvent(Start(1, 2, /*path=*/2), *mcu).verdict.violated());
+}
+
+TEST(MayflyCheckerTest, ChecksChargeRuntimeTag) {
+  MayflyChecker checker;
+  auto mcu = TestMcu();
+  checker.HardReset(*mcu);
+  (void)checker.OnEvent(Start(0, 1), *mcu);
+  EXPECT_GT(mcu->stats().busy_time[static_cast<int>(CostTag::kRuntime)], 0u);
+  EXPECT_EQ(mcu->stats().busy_time[static_cast<int>(CostTag::kMonitor)], 0u);
+}
+
+TEST(MayflyCheckerTest, FramBytesGrowWithRules) {
+  MayflyChecker a;
+  MayflyChecker b;
+  b.AddRule(MayflyRule{});
+  b.AddRule(MayflyRule{});
+  EXPECT_GT(b.FramBytes(), a.FramBytes());
+}
+
+TEST(MayflyRuntimeTest, CompletesHealthAppOnContinuousPower) {
+  HealthApp app = BuildHealthApp();
+  auto parsed = SpecParser::Parse(HealthAppSpec());
+  auto mcu = TestMcu();
+  auto runtime = MayflyRuntime::Create(&app.graph, parsed.value(), mcu.get(), {});
+  ASSERT_TRUE(runtime.ok());
+  EXPECT_EQ(runtime.value()->dropped_properties().size(), 5u);
+  const KernelRunResult result = runtime.value()->Run();
+  EXPECT_TRUE(result.completed);
+}
+
+TEST(MayflyRuntimeTest, TextProxySmallerThanArtemis) {
+  // Table 2's .text ordering: the fused runtime is smaller than ARTEMIS's
+  // event-plumbing runtime.
+  EXPECT_LT(MayflyRuntime::RuntimeTextBytes(), 1512u + 1u);
+  EXPECT_EQ(MayflyRuntime::RuntimeTextBytes(), 1152u);
+}
+
+}  // namespace
+}  // namespace artemis

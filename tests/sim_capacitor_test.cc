@@ -1,0 +1,151 @@
+// Unit tests for the capacitor and harvester models.
+#include <gtest/gtest.h>
+
+#include "src/sim/capacitor.h"
+#include "src/sim/harvester.h"
+
+namespace artemis {
+namespace {
+
+CapacitorConfig SmallCap() {
+  CapacitorConfig config;
+  config.capacitance_f = 100e-6;
+  config.v_max = 5.0;
+  config.v_on = 3.5;
+  config.v_off = 2.2;
+  return config;
+}
+
+TEST(CapacitorTest, StartsFull) {
+  Capacitor cap(SmallCap());
+  EXPECT_DOUBLE_EQ(cap.voltage(), 5.0);
+  // E = 1/2 * 100uF * 25 V^2 = 1250 uJ.
+  EXPECT_NEAR(cap.StoredEnergy(), 1250.0, 1e-9);
+}
+
+TEST(CapacitorTest, UsableEnergyExcludesBrownoutFloor) {
+  Capacitor cap(SmallCap());
+  const double floor = 0.5 * 100e-6 * 2.2 * 2.2 * 1e6;  // 242 uJ
+  EXPECT_NEAR(cap.UsableEnergy(), 1250.0 - floor, 1e-9);
+  EXPECT_NEAR(cap.FullUsableEnergy(), 1250.0 - floor, 1e-9);
+}
+
+TEST(CapacitorTest, DrainDeliversRequestedWhenAvailable) {
+  Capacitor cap(SmallCap());
+  const EnergyUj got = cap.Drain(100.0);
+  EXPECT_NEAR(got, 100.0, 1e-9);
+  EXPECT_NEAR(cap.StoredEnergy(), 1150.0, 1e-6);
+  EXPECT_LT(cap.voltage(), 5.0);
+}
+
+TEST(CapacitorTest, DrainClampsAtBrownout) {
+  Capacitor cap(SmallCap());
+  const EnergyUj usable = cap.UsableEnergy();
+  const EnergyUj got = cap.Drain(usable + 500.0);
+  EXPECT_NEAR(got, usable, 1e-6);
+  EXPECT_DOUBLE_EQ(cap.voltage(), 2.2);
+  EXPECT_TRUE(cap.IsBrownedOut());
+  EXPECT_NEAR(cap.UsableEnergy(), 0.0, 1e-9);
+}
+
+TEST(CapacitorTest, ChargeClampsAtVmax) {
+  Capacitor cap(SmallCap());
+  cap.SetVoltage(3.0);
+  cap.Charge(1e9);
+  EXPECT_DOUBLE_EQ(cap.voltage(), 5.0);
+}
+
+TEST(CapacitorTest, TimeToReachMatchesEnergyBudget) {
+  Capacitor cap(SmallCap());
+  cap.SetVoltage(2.2);
+  // Needed: E(3.5) - E(2.2) = 0.5*100u*(12.25-4.84)*1e6 = 370.5 uJ.
+  // At 1 mW: t = 370.5 * 1000 us.
+  const SimDuration t = cap.TimeToReach(3.5, 1.0);
+  EXPECT_NEAR(static_cast<double>(t), 370.5 * 1000, 1000.0);
+}
+
+TEST(CapacitorTest, TimeToReachZeroWhenAlreadyThere) {
+  Capacitor cap(SmallCap());
+  EXPECT_EQ(cap.TimeToReach(3.5, 1.0), 0u);
+  cap.SetVoltage(2.2);
+  EXPECT_EQ(cap.TimeToReach(3.5, 0.0), 0u);  // No harvest: reported as 0, callers guard.
+}
+
+TEST(CapacitorTest, DrainChargeRoundTrip) {
+  Capacitor cap(SmallCap());
+  cap.Drain(300.0);
+  cap.Charge(300.0);
+  EXPECT_NEAR(cap.StoredEnergy(), 1250.0, 1e-6);
+}
+
+// ------------------------------------------------------------ harvester --
+
+TEST(ConstantHarvesterTest, FlatPowerExactEnergy) {
+  ConstantHarvester h(2.5);
+  EXPECT_DOUBLE_EQ(h.PowerAt(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.PowerAt(kHour), 2.5);
+  EXPECT_DOUBLE_EQ(h.EnergyOver(0, kSecond), 2500.0);
+}
+
+TEST(PulseHarvesterTest, DutyCycle) {
+  PulseHarvester h(4.0, 10 * kMillisecond, 3 * kMillisecond);
+  EXPECT_DOUBLE_EQ(h.PowerAt(0), 4.0);
+  EXPECT_DOUBLE_EQ(h.PowerAt(2 * kMillisecond), 4.0);
+  EXPECT_DOUBLE_EQ(h.PowerAt(3 * kMillisecond), 0.0);
+  EXPECT_DOUBLE_EQ(h.PowerAt(9 * kMillisecond), 0.0);
+  EXPECT_DOUBLE_EQ(h.PowerAt(10 * kMillisecond), 4.0);
+}
+
+TEST(PulseHarvesterTest, EnergyIntegratesDuty) {
+  PulseHarvester h(10.0, 10 * kMillisecond, 5 * kMillisecond);
+  // 50% duty at 10 mW over 1 s -> 5000 uJ, integration tolerance ~2%.
+  EXPECT_NEAR(h.EnergyOver(0, kSecond), 5000.0, 100.0);
+}
+
+TEST(TraceHarvesterTest, StepFunction) {
+  TraceHarvester h({{0, 1.0}, {kSecond, 3.0}, {2 * kSecond, 0.0}});
+  EXPECT_DOUBLE_EQ(h.PowerAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.PowerAt(kSecond - 1), 1.0);
+  EXPECT_DOUBLE_EQ(h.PowerAt(kSecond), 3.0);
+  EXPECT_DOUBLE_EQ(h.PowerAt(5 * kSecond), 0.0);
+}
+
+TEST(TraceHarvesterTest, BeforeFirstStepIsZero) {
+  TraceHarvester h({{kSecond, 2.0}});
+  EXPECT_DOUBLE_EQ(h.PowerAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.PowerAt(kSecond), 2.0);
+}
+
+TEST(TraceHarvesterTest, UnsortedInputIsSorted) {
+  TraceHarvester h({{2 * kSecond, 5.0}, {0, 1.0}});
+  EXPECT_DOUBLE_EQ(h.PowerAt(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(h.PowerAt(3 * kSecond), 5.0);
+}
+
+TEST(NoisyHarvesterTest, DeterministicPerSlot) {
+  NoisyHarvester a(5.0, 0.2, kSecond, 42);
+  NoisyHarvester b(5.0, 0.2, kSecond, 42);
+  for (SimTime t = 0; t < 10 * kSecond; t += kSecond) {
+    EXPECT_DOUBLE_EQ(a.PowerAt(t), b.PowerAt(t));
+  }
+}
+
+TEST(NoisyHarvesterTest, NeverNegativeAndMeanApproximate) {
+  NoisyHarvester h(5.0, 0.3, kSecond, 7);
+  double sum = 0.0;
+  constexpr int kSlots = 2000;
+  for (int i = 0; i < kSlots; ++i) {
+    const double p = h.PowerAt(static_cast<SimTime>(i) * kSecond);
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum / kSlots, 5.0, 0.25);
+}
+
+TEST(NoisyHarvesterTest, ConstantWithinSlot) {
+  NoisyHarvester h(5.0, 0.3, kSecond, 7);
+  EXPECT_DOUBLE_EQ(h.PowerAt(100), h.PowerAt(kSecond - 1));
+}
+
+}  // namespace
+}  // namespace artemis

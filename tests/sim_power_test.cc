@@ -1,0 +1,142 @@
+// Unit tests for the power-supply models that drive intermittence.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sim/power_model.h"
+
+namespace artemis {
+namespace {
+
+TEST(AlwaysOnTest, NeverFails) {
+  AlwaysOnPowerModel model;
+  const ConsumeResult r = model.Consume(0, kHour, 100.0);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.ran_for, kHour);
+  EXPECT_DOUBLE_EQ(r.consumed, EnergyFor(100.0, kHour));
+}
+
+TEST(FixedChargeTest, CompletesWithinBudget) {
+  FixedChargePowerModel model(1000.0, 5 * kSecond);
+  const ConsumeResult r = model.Consume(0, kSecond, 0.5);  // 500 uJ
+  EXPECT_TRUE(r.completed);
+  EXPECT_DOUBLE_EQ(r.consumed, 500.0);
+  EXPECT_DOUBLE_EQ(model.StoredEnergyFraction(), 0.5);
+}
+
+TEST(FixedChargeTest, DiesPartwayAndSchedulesRestart) {
+  FixedChargePowerModel model(1000.0, 5 * kSecond);
+  // 2 s at 1 mW needs 2000 uJ; only 1000 available -> dies after 1 s.
+  const ConsumeResult r = model.Consume(10 * kSecond, 2 * kSecond, 1.0);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.ran_for, kSecond);
+  EXPECT_EQ(r.restart_at, 10 * kSecond + kSecond + 5 * kSecond);
+  EXPECT_DOUBLE_EQ(r.consumed, 1000.0);
+  EXPECT_DOUBLE_EQ(model.StoredEnergyFraction(), 0.0);
+}
+
+TEST(FixedChargeTest, RebootRefillsBudget) {
+  FixedChargePowerModel model(1000.0, 5 * kSecond);
+  (void)model.Consume(0, kHour, 10.0);  // Exhaust it.
+  model.NotifyReboot(kMinute);
+  EXPECT_DOUBLE_EQ(model.StoredEnergyFraction(), 1.0);
+  EXPECT_TRUE(model.Consume(kMinute, kSecond, 0.9).completed);
+}
+
+TEST(FixedChargeTest, ZeroPowerAlwaysCompletes) {
+  FixedChargePowerModel model(10.0, kSecond);
+  EXPECT_TRUE(model.Consume(0, kHour, 0.0).completed);
+}
+
+TEST(FixedChargeTest, SuccessiveDrainsAccumulate) {
+  FixedChargePowerModel model(1000.0, kSecond);
+  EXPECT_TRUE(model.Consume(0, kSecond, 0.4).completed);   // 400
+  EXPECT_TRUE(model.Consume(0, kSecond, 0.4).completed);   // 800
+  EXPECT_FALSE(model.Consume(0, kSecond, 0.4).completed);  // needs 1200
+}
+
+TEST(CapacitorModelTest, RunsWhileHarvestExceedsLoad) {
+  CapacitorPowerModel model(CapacitorConfig{}, std::make_unique<ConstantHarvester>(5.0));
+  const ConsumeResult r = model.Consume(0, 10 * kSecond, 3.0);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(CapacitorModelTest, BrownsOutUnderSustainedOverload) {
+  CapacitorConfig config;  // 1250 uJ full, ~1008 usable
+  CapacitorPowerModel model(CapacitorConfig{}, std::make_unique<ConstantHarvester>(0.0));
+  // 10 mW load with no harvest: usable 1008 uJ -> dies at ~100 ms.
+  const ConsumeResult r = model.Consume(0, kSecond, 10.0);
+  EXPECT_FALSE(r.completed);
+  EXPECT_GT(r.ran_for, 50 * kMillisecond);
+  EXPECT_LT(r.ran_for, 200 * kMillisecond);
+  (void)config;
+}
+
+TEST(CapacitorModelTest, RecoversWhenHarvesterRefills) {
+  CapacitorPowerModel model(CapacitorConfig{}, std::make_unique<ConstantHarvester>(2.0));
+  const ConsumeResult r = model.Consume(0, kSecond, 50.0);
+  ASSERT_FALSE(r.completed);
+  EXPECT_GT(r.restart_at, r.ran_for);
+  // After restart the capacitor is at V_on and can run briefly again.
+  const ConsumeResult next = model.Consume(r.restart_at, kMillisecond, 1.0);
+  EXPECT_TRUE(next.completed);
+}
+
+TEST(CapacitorModelTest, EnergyFractionTracksVoltage) {
+  CapacitorPowerModel model(CapacitorConfig{}, std::make_unique<ConstantHarvester>(0.0));
+  EXPECT_NEAR(model.StoredEnergyFraction(), 1.0, 1e-9);
+  (void)model.Consume(0, 50 * kMillisecond, 10.0);  // ~500 uJ of ~1008 usable
+  EXPECT_LT(model.StoredEnergyFraction(), 0.7);
+  EXPECT_GT(model.StoredEnergyFraction(), 0.2);
+}
+
+TEST(TraceModelTest, CompletesInsideWindow) {
+  TracePowerModel model({{0, kSecond}, {2 * kSecond, 3 * kSecond}});
+  EXPECT_TRUE(model.Consume(0, 500 * kMillisecond, 1.0).completed);
+}
+
+TEST(TraceModelTest, FailsAtWindowEdgeAndRestartsAtNextWindow) {
+  TracePowerModel model({{0, kSecond}, {2 * kSecond, 3 * kSecond}});
+  const ConsumeResult r = model.Consume(800 * kMillisecond, kSecond, 1.0);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.ran_for, 200 * kMillisecond);
+  EXPECT_EQ(r.restart_at, 2 * kSecond);
+}
+
+TEST(TraceModelTest, PastLastWindowNeverRestartsSoon) {
+  TracePowerModel model({{0, kSecond}});
+  const ConsumeResult r = model.Consume(5 * kSecond, kSecond, 1.0);
+  EXPECT_FALSE(r.completed);
+  EXPECT_GT(r.restart_at, 5 * kSecond + kHour);
+}
+
+TEST(StochasticModelTest, DeterministicUnderSeed) {
+  StochasticPowerModel a(kSecond, kSecond, 42);
+  StochasticPowerModel b(kSecond, kSecond, 42);
+  for (int i = 0; i < 20; ++i) {
+    const ConsumeResult ra = a.Consume(0, 300 * kMillisecond, 1.0);
+    const ConsumeResult rb = b.Consume(0, 300 * kMillisecond, 1.0);
+    EXPECT_EQ(ra.completed, rb.completed);
+    EXPECT_EQ(ra.ran_for, rb.ran_for);
+    if (!ra.completed) {
+      a.NotifyReboot(ra.restart_at);
+      b.NotifyReboot(rb.restart_at);
+    }
+  }
+}
+
+TEST(StochasticModelTest, EventuallyFails) {
+  StochasticPowerModel model(100 * kMillisecond, kSecond, 7);
+  bool failed = false;
+  for (int i = 0; i < 100 && !failed; ++i) {
+    const ConsumeResult r = model.Consume(0, 50 * kMillisecond, 1.0);
+    failed = !r.completed;
+    if (failed) {
+      EXPECT_GT(r.restart_at, 0u);
+    }
+  }
+  EXPECT_TRUE(failed);
+}
+
+}  // namespace
+}  // namespace artemis

@@ -1,0 +1,148 @@
+// CLI-level tests for the artemisc toolchain binary: exit codes and key
+// output fragments across the check / pretty / codegen / dot / simulate
+// verbs. The binary path comes from CMake via ARTEMISC_BIN.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace artemis {
+namespace {
+
+#ifndef ARTEMISC_BIN
+#define ARTEMISC_BIN "artemisc"
+#endif
+
+std::string WriteTempSpec(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+struct RunResult {
+  int exit_code;
+  std::string output;
+};
+
+RunResult RunCli(const std::string& args) {
+  const std::string out_path = ::testing::TempDir() + "/artemisc_out.txt";
+  const std::string cmd =
+      std::string(ARTEMISC_BIN) + " " + args + " > '" + out_path + "' 2>&1";
+  const int raw = std::system(cmd.c_str());
+  std::ifstream in(out_path);
+  std::string output((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  return RunResult{WEXITSTATUS(raw), std::move(output)};
+}
+
+TEST(ArtemiscTest, NoArgsPrintsUsage) {
+  const RunResult result = RunCli("");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST(ArtemiscTest, CheckAcceptsCleanSpec) {
+  const std::string spec =
+      WriteTempSpec("ok.prop", "accel: { maxTries: 10 onFail: skipPath; }\n");
+  const RunResult result = RunCli("check " + spec);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("OK"), std::string::npos);
+}
+
+TEST(ArtemiscTest, CheckFlagsUnsatisfiableProperty) {
+  const std::string spec =
+      WriteTempSpec("bad.prop", "accel: { maxDuration: 10ms onFail: skipTask; }\n");
+  const RunResult result = RunCli("check " + spec);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("UNSATISFIABLE"), std::string::npos);
+}
+
+TEST(ArtemiscTest, CheckFlagsEnergyInfeasibleTask) {
+  const std::string spec =
+      WriteTempSpec("e.prop", "accel: { maxTries: 10 onFail: skipPath; }\n");
+  // accel needs ~18 mJ per attempt; a 1000 uJ budget can never finish it.
+  const RunResult result = RunCli("check " + spec + " --budget 1000");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("ENERGY"), std::string::npos);
+}
+
+TEST(ArtemiscTest, CheckRejectsParseError) {
+  const std::string spec = WriteTempSpec("syntax.prop", "send: { wat }\n");
+  const RunResult result = RunCli("check " + spec);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("parse error"), std::string::npos);
+}
+
+TEST(ArtemiscTest, CheckMayflyLangFrontend) {
+  const std::string spec =
+      WriteTempSpec("mf.prop", "expires(accel -> send, 5min) path 2;\n");
+  const RunResult result = RunCli("check " + spec + " --mayfly-lang");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(ArtemiscTest, PrettyRoundTrips) {
+  const std::string spec = WriteTempSpec(
+      "p.prop", "send: { MITD: 5min dpTask: accel onFail: restartPath Path: 2; }\n");
+  const RunResult result = RunCli("pretty " + spec);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("MITD: 5min"), std::string::npos);
+}
+
+TEST(ArtemiscTest, CodegenEmitsCallMonitor) {
+  const std::string spec =
+      WriteTempSpec("g.prop", "accel: { maxTries: 10 onFail: skipPath; }\n");
+  const RunResult result = RunCli("codegen " + spec);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("callMonitor"), std::string::npos);
+  EXPECT_NE(result.output.find("__fram"), std::string::npos);
+}
+
+TEST(ArtemiscTest, DotEmitsDigraph) {
+  const std::string spec =
+      WriteTempSpec("d.prop", "accel: { maxTries: 10 onFail: skipPath; }\n");
+  const RunResult result = RunCli("dot " + spec);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("digraph"), std::string::npos);
+}
+
+TEST(ArtemiscTest, SimulateHealthContinuous) {
+  const RunResult result = RunCli("simulate --app health");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("completed=yes"), std::string::npos);
+}
+
+TEST(ArtemiscTest, SimulateMayflyNonTermination) {
+  const RunResult result =
+      RunCli("simulate --app health --system mayfly --charge 6min --budget 19500");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("non-termination"), std::string::npos);
+}
+
+TEST(ArtemiscTest, SimulateGreenhouse) {
+  const RunResult result = RunCli("simulate --app greenhouse");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(ArtemiscTest, ProfileRanksAccelHighest) {
+  // Section 5.1: "the accel task is the highest power-consuming".
+  const RunResult result = RunCli("profile --app health");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  const std::size_t header = result.output.find("task");
+  const std::size_t accel = result.output.find("accel");
+  ASSERT_NE(header, std::string::npos);
+  ASSERT_NE(accel, std::string::npos);
+  // accel is the first data row (highest energy).
+  const std::size_t first_newline = result.output.find('\n', header);
+  EXPECT_LT(accel, result.output.find('\n', first_newline + 1));
+}
+
+TEST(ArtemiscTest, UnknownAppRejected) {
+  const RunResult result = RunCli("simulate --app toaster");
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+}  // namespace
+}  // namespace artemis

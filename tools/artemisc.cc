@@ -1,0 +1,434 @@
+// artemisc — the ARTEMIS command-line toolchain, the CLI counterpart of the
+// paper's Xtext/Eclipse workbench (Figure 3).
+//
+//   artemisc check    <spec-file> [--app health|greenhouse] [--mayfly-lang]
+//   artemisc pretty   <spec-file>
+//   artemisc codegen  <spec-file> [--app ...] [--no-immortal]
+//   artemisc dot      <spec-file> [--app ...]
+//   artemisc simulate [--app ...] [--spec <file>] [--system artemis|mayfly]
+//                     [--charge <duration>] [--budget <uJ>] [--trace]
+//
+// `check` runs parse -> validate -> consistency analysis; `codegen`/`dot`
+// run the full generator pipeline; `simulate` executes the chosen demo app
+// on the simulated platform. Spec files may use the native Figure 5 syntax
+// or, with --mayfly-lang, the Mayfly-style edge-annotation frontend.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/apps/ar_app.h"
+#include "src/apps/ar_app.h"
+#include "src/apps/greenhouse_app.h"
+#include "src/apps/health_app.h"
+#include "src/base/units.h"
+#include "src/core/builder.h"
+#include "src/core/runtime.h"
+#include "src/core/stats.h"
+#include "src/ir/codegen_c.h"
+#include "src/ir/codegen_dot.h"
+#include "src/ir/lowering.h"
+#include "src/mayfly/mayfly.h"
+#include "src/spec/app_lang.h"
+#include "src/spec/consistency.h"
+#include "src/spec/mayfly_frontend.h"
+#include "src/spec/parser.h"
+#include "src/spec/validator.h"
+
+namespace artemis {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: artemisc <check|pretty|codegen|dot|simulate> [args]\n"
+               "  check    <spec> [--app health|greenhouse] [--mayfly-lang]\n"
+               "  pretty   <spec>\n"
+               "  codegen  <spec> [--app ...] [--no-immortal]\n"
+               "  dot      <spec> [--app ...]\n"
+               "  simulate [--app ...] [--spec <file>] [--system artemis|mayfly]\n"
+               "           [--charge <duration>] [--budget <uJ>] [--trace]\n"
+               "  profile  [--app ...]\n");
+  return 2;
+}
+
+std::optional<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct Args {
+  std::string command;
+  std::string spec_path;
+  std::string app = "health";
+  std::string app_file;  // --app-file: app-description-language source
+  std::string system = "artemis";
+  bool mayfly_lang = false;
+  bool immortal = true;
+  bool trace = false;
+  SimDuration charge = 0;
+  EnergyUj budget = 19'500.0;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) {
+    return false;
+  }
+  args->command = argv[1];
+  int i = 2;
+  if (args->command != "simulate" && args->command != "profile") {
+    if (i >= argc) {
+      return false;
+    }
+    args->spec_path = argv[i++];
+  }
+  for (; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (flag == "--app") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args->app = value;
+    } else if (flag == "--app-file") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args->app_file = value;
+    } else if (flag == "--system") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args->system = value;
+    } else if (flag == "--spec") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args->spec_path = value;
+    } else if (flag == "--charge") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      const std::optional<SimDuration> parsed = ParseDuration(value);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "artemisc: bad duration '%s'\n", value);
+        return false;
+      }
+      args->charge = *parsed;
+    } else if (flag == "--budget") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args->budget = std::atof(value);
+    } else if (flag == "--mayfly-lang") {
+      args->mayfly_lang = true;
+    } else if (flag == "--no-immortal") {
+      args->immortal = false;
+    } else if (flag == "--trace") {
+      args->trace = true;
+    } else {
+      std::fprintf(stderr, "artemisc: unknown flag '%s'\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+struct DemoApp {
+  AppGraph graph;
+  std::string default_spec;
+};
+
+std::optional<DemoApp> MakeApp(const Args& args) {
+  DemoApp app;
+  if (!args.app_file.empty()) {
+    const std::optional<std::string> source = ReadFile(args.app_file);
+    if (!source.has_value()) {
+      std::fprintf(stderr, "artemisc: cannot read '%s'\n", args.app_file.c_str());
+      return std::nullopt;
+    }
+    StatusOr<AppDescription> parsed = ParseAppDescription(*source);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "app-file error: %s\n", parsed.status().ToString().c_str());
+      return std::nullopt;
+    }
+    app.graph = std::move(parsed.value().graph);
+    app.default_spec = "";  // Properties must come from --spec / the argument.
+    return app;
+  }
+  const std::string& name = args.app;
+  if (name == "health") {
+    HealthApp health = BuildHealthApp();
+    app.graph = std::move(health.graph);
+    app.default_spec = HealthAppSpec();
+    return app;
+  }
+  if (name == "greenhouse") {
+    GreenhouseApp greenhouse = BuildGreenhouseApp();
+    app.graph = std::move(greenhouse.graph);
+    app.default_spec = GreenhouseSpec();
+    return app;
+  }
+  if (name == "ar") {
+    ArApp ar = BuildArApp();
+    app.graph = std::move(ar.graph);
+    app.default_spec = ArAppSpec();
+    return app;
+  }
+  std::fprintf(stderr, "artemisc: unknown app '%s' (health|greenhouse|ar)\n", name.c_str());
+  return std::nullopt;
+}
+
+StatusOr<SpecAst> ParseSpec(const Args& args, const std::string& source) {
+  if (args.mayfly_lang) {
+    return MayflyFrontend::Parse(source);
+  }
+  return SpecParser::Parse(source);
+}
+
+int RunCheck(const Args& args, const std::string& source) {
+  auto app = MakeApp(args);
+  if (!app.has_value()) {
+    return 2;
+  }
+  auto parsed = ParseSpec(args, source);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  const ValidationResult validation = SpecValidator::Validate(parsed.value(), app->graph);
+  if (!validation.ok()) {
+    std::fprintf(stderr, "validation error: %s\n", validation.status.ToString().c_str());
+    return 1;
+  }
+  for (const std::string& warning : validation.warnings) {
+    std::printf("warning: %s\n", warning.c_str());
+  }
+  int hard_findings = 0;
+  for (const ConsistencyFinding& finding :
+       ConsistencyChecker::Analyze(parsed.value(), app->graph)) {
+    std::printf("%s: %s: %s\n", ConsistencySeverityName(finding.severity),
+                finding.property.c_str(), finding.message.c_str());
+    hard_findings += finding.severity != ConsistencySeverity::kRisky ? 1 : 0;
+  }
+  // Static energy feasibility against the device budget (--budget, uJ).
+  for (const EnergyFeasibilityFinding& finding :
+       AnalyzeEnergyFeasibility(app->graph, args.budget)) {
+    if (!finding.feasible) {
+      std::printf("ENERGY: task '%s' needs %.1f uJ per attempt but one on-period "
+                  "delivers %.1f uJ; it can never complete (runtime signature: "
+                  "maxTries exhaustion)\n",
+                  finding.task_name.c_str(), finding.per_attempt, finding.budget);
+      ++hard_findings;
+    }
+  }
+  std::printf("%zu properties across %zu task blocks: %s\n", parsed.value().PropertyCount(),
+              parsed.value().blocks.size(), hard_findings == 0 ? "OK" : "INCONSISTENT");
+  return hard_findings == 0 ? 0 : 1;
+}
+
+int RunPretty(const Args& args, const std::string& source) {
+  auto parsed = ParseSpec(args, source);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", parsed.value().Pretty().c_str());
+  return 0;
+}
+
+int RunCodegen(const Args& args, const std::string& source, bool dot) {
+  auto app = MakeApp(args);
+  if (!app.has_value()) {
+    return 2;
+  }
+  auto parsed = ParseSpec(args, source);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  const ValidationResult validation = SpecValidator::Validate(parsed.value(), app->graph);
+  if (!validation.ok()) {
+    std::fprintf(stderr, "validation error: %s\n", validation.status.ToString().c_str());
+    return 1;
+  }
+  auto machines = LowerSpec(parsed.value(), app->graph, {});
+  if (!machines.ok()) {
+    std::fprintf(stderr, "lowering error: %s\n", machines.status().ToString().c_str());
+    return 1;
+  }
+  if (dot) {
+    std::printf("%s", MachinesToDot(machines.value(), app->graph).c_str());
+  } else {
+    CodegenOptions options;
+    options.immortal_macros = args.immortal;
+    std::printf("%s", CCodeGenerator(options).Generate(machines.value(), app->graph).c_str());
+  }
+  return 0;
+}
+
+// Per-task energy/time profile on continuous power — the Section 5.1
+// measurement methodology ("According to our measurements, the accel task
+// is the highest power-consuming among other tasks").
+int RunProfile(const Args& args) {
+  auto app = MakeApp(args);
+  if (!app.has_value()) {
+    return 2;
+  }
+  auto mcu = PlatformBuilder().WithContinuousPower().Build();
+  ArtemisConfig config;
+  config.kernel.record_trace = false;
+  auto runtime =
+      ArtemisRuntime::Create(&app->graph, app->default_spec, mcu.get(), config);
+  if (!runtime.ok()) {
+    std::fprintf(stderr, "setup error: %s\n", runtime.status().ToString().c_str());
+    return 1;
+  }
+  const KernelRunResult result = runtime.value()->Run();
+  const std::vector<TaskProfile>& profiles = runtime.value()->kernel().profiles();
+
+  std::vector<TaskId> order;
+  for (TaskId t = 0; t < app->graph.task_count(); ++t) {
+    order.push_back(t);
+  }
+  std::sort(order.begin(), order.end(), [&profiles](TaskId a, TaskId b) {
+    return profiles[a].energy > profiles[b].energy;
+  });
+  std::printf("%-12s %10s %8s %8s %12s %12s\n", "task", "commits", "aborts", "skips",
+              "busy", "energy");
+  for (const TaskId t : order) {
+    const TaskProfile& p = profiles[t];
+    std::printf("%-12s %10llu %8llu %8llu %12s %12s\n", app->graph.TaskName(t).c_str(),
+                static_cast<unsigned long long>(p.commits),
+                static_cast<unsigned long long>(p.aborts),
+                static_cast<unsigned long long>(p.skips), FormatDuration(p.busy_time).c_str(),
+                FormatEnergy(p.energy).c_str());
+  }
+  return result.completed ? 0 : 1;
+}
+
+int RunSimulate(const Args& args) {
+  auto app = MakeApp(args);
+  if (!app.has_value()) {
+    return 2;
+  }
+  std::string source = app->default_spec;
+  if (!args.spec_path.empty()) {
+    const std::optional<std::string> file = ReadFile(args.spec_path);
+    if (!file.has_value()) {
+      std::fprintf(stderr, "artemisc: cannot read '%s'\n", args.spec_path.c_str());
+      return 2;
+    }
+    source = *file;
+  }
+  PlatformBuilder platform;
+  if (args.charge != 0) {
+    platform.WithFixedCharge(args.budget, args.charge);
+  } else {
+    platform.WithContinuousPower();
+  }
+  auto mcu = platform.Build();
+
+  KernelRunResult result;
+  const ExecutionTrace* trace = nullptr;
+  std::unique_ptr<ArtemisRuntime> artemis_runtime;
+  std::unique_ptr<MayflyRuntime> mayfly_runtime;
+  if (args.system == "artemis") {
+    ArtemisConfig config;
+    config.kernel.max_wall_time = 12 * kHour;
+    auto runtime = ArtemisRuntime::Create(&app->graph, source, mcu.get(), config);
+    if (!runtime.ok()) {
+      std::fprintf(stderr, "setup error: %s\n", runtime.status().ToString().c_str());
+      return 1;
+    }
+    artemis_runtime = std::move(runtime).value();
+    result = artemis_runtime->Run();
+    trace = &artemis_runtime->kernel().trace();
+  } else if (args.system == "mayfly") {
+    auto parsed = ParseSpec(args, source);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "parse error: %s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    KernelOptions options;
+    options.max_wall_time = 12 * kHour;
+    auto runtime = MayflyRuntime::Create(&app->graph, parsed.value(), mcu.get(), options);
+    if (!runtime.ok()) {
+      std::fprintf(stderr, "setup error: %s\n", runtime.status().ToString().c_str());
+      return 1;
+    }
+    mayfly_runtime = std::move(runtime).value();
+    result = mayfly_runtime->Run();
+    trace = &mayfly_runtime->kernel().trace();
+  } else {
+    std::fprintf(stderr, "artemisc: unknown system '%s'\n", args.system.c_str());
+    return 2;
+  }
+
+  if (args.trace && trace != nullptr) {
+    std::vector<std::string> names;
+    for (TaskId t = 0; t < app->graph.task_count(); ++t) {
+      names.push_back(app->graph.TaskName(t));
+    }
+    std::printf("%s", trace->ToString(names).c_str());
+  }
+  std::printf("system=%s app=%s completed=%s wall=%s reboots=%llu energy=%s\n",
+              args.system.c_str(),
+              (args.app_file.empty() ? args.app : args.app_file).c_str(),
+              result.completed ? "yes" : (result.timed_out ? "NO(non-termination)" : "NO"),
+              FormatDuration(result.finished_at).c_str(),
+              static_cast<unsigned long long>(result.stats.reboots),
+              FormatEnergy(result.stats.TotalEnergy()).c_str());
+  std::printf("%s\n", FormatOverheadRow("overheads:", BreakdownFromStats(result.stats)).c_str());
+  return result.completed ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    return Usage();
+  }
+  if (args.command == "simulate") {
+    return RunSimulate(args);
+  }
+  if (args.command == "profile") {
+    return RunProfile(args);
+  }
+  const std::optional<std::string> source = ReadFile(args.spec_path);
+  if (!source.has_value()) {
+    std::fprintf(stderr, "artemisc: cannot read '%s'\n", args.spec_path.c_str());
+    return 2;
+  }
+  if (args.command == "check") {
+    return RunCheck(args, *source);
+  }
+  if (args.command == "pretty") {
+    return RunPretty(args, *source);
+  }
+  if (args.command == "codegen") {
+    return RunCodegen(args, *source, /*dot=*/false);
+  }
+  if (args.command == "dot") {
+    return RunCodegen(args, *source, /*dot=*/true);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace artemis
+
+int main(int argc, char** argv) { return artemis::Main(argc, argv); }
