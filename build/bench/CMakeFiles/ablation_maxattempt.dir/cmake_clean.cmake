@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_maxattempt.dir/ablation_maxattempt.cc.o"
+  "CMakeFiles/ablation_maxattempt.dir/ablation_maxattempt.cc.o.d"
+  "ablation_maxattempt"
+  "ablation_maxattempt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_maxattempt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_monitor_impl.dir/ablation_monitor_impl.cc.o"
+  "CMakeFiles/ablation_monitor_impl.dir/ablation_monitor_impl.cc.o.d"
+  "ablation_monitor_impl"
+  "ablation_monitor_impl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_monitor_impl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/background_checkpoint.dir/background_checkpoint.cc.o"
+  "CMakeFiles/background_checkpoint.dir/background_checkpoint.cc.o.d"
+  "background_checkpoint"
+  "background_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/background_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

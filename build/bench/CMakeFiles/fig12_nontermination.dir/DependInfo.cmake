@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_nontermination.cc" "bench/CMakeFiles/fig12_nontermination.dir/fig12_nontermination.cc.o" "gcc" "bench/CMakeFiles/fig12_nontermination.dir/fig12_nontermination.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/artemis_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_mayfly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

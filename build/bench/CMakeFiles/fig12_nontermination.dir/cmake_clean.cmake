@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_nontermination.dir/fig12_nontermination.cc.o"
+  "CMakeFiles/fig12_nontermination.dir/fig12_nontermination.cc.o.d"
+  "fig12_nontermination"
+  "fig12_nontermination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_nontermination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

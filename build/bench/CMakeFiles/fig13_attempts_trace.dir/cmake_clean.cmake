@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_attempts_trace.dir/fig13_attempts_trace.cc.o"
+  "CMakeFiles/fig13_attempts_trace.dir/fig13_attempts_trace.cc.o.d"
+  "fig13_attempts_trace"
+  "fig13_attempts_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_attempts_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

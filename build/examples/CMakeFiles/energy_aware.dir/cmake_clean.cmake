@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_aware.dir/energy_aware.cpp.o"
+  "CMakeFiles/energy_aware.dir/energy_aware.cpp.o.d"
+  "energy_aware"
+  "energy_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/periodic_sensing.dir/periodic_sensing.cpp.o"
+  "CMakeFiles/periodic_sensing.dir/periodic_sensing.cpp.o.d"
+  "periodic_sensing"
+  "periodic_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/periodic_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artemis_apps.dir/apps/ar_app.cc.o"
+  "CMakeFiles/artemis_apps.dir/apps/ar_app.cc.o.d"
+  "CMakeFiles/artemis_apps.dir/apps/greenhouse_app.cc.o"
+  "CMakeFiles/artemis_apps.dir/apps/greenhouse_app.cc.o.d"
+  "CMakeFiles/artemis_apps.dir/apps/health_app.cc.o"
+  "CMakeFiles/artemis_apps.dir/apps/health_app.cc.o.d"
+  "libartemis_apps.a"
+  "libartemis_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artemis_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artemis_base.dir/base/log.cc.o"
+  "CMakeFiles/artemis_base.dir/base/log.cc.o.d"
+  "CMakeFiles/artemis_base.dir/base/rng.cc.o"
+  "CMakeFiles/artemis_base.dir/base/rng.cc.o.d"
+  "CMakeFiles/artemis_base.dir/base/status.cc.o"
+  "CMakeFiles/artemis_base.dir/base/status.cc.o.d"
+  "CMakeFiles/artemis_base.dir/base/units.cc.o"
+  "CMakeFiles/artemis_base.dir/base/units.cc.o.d"
+  "libartemis_base.a"
+  "libartemis_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artemis_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artemis_core.dir/core/builder.cc.o"
+  "CMakeFiles/artemis_core.dir/core/builder.cc.o.d"
+  "CMakeFiles/artemis_core.dir/core/runtime.cc.o"
+  "CMakeFiles/artemis_core.dir/core/runtime.cc.o.d"
+  "CMakeFiles/artemis_core.dir/core/stats.cc.o"
+  "CMakeFiles/artemis_core.dir/core/stats.cc.o.d"
+  "libartemis_core.a"
+  "libartemis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artemis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

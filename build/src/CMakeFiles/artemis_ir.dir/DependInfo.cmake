@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/codegen_c.cc" "src/CMakeFiles/artemis_ir.dir/ir/codegen_c.cc.o" "gcc" "src/CMakeFiles/artemis_ir.dir/ir/codegen_c.cc.o.d"
+  "/root/repo/src/ir/codegen_dot.cc" "src/CMakeFiles/artemis_ir.dir/ir/codegen_dot.cc.o" "gcc" "src/CMakeFiles/artemis_ir.dir/ir/codegen_dot.cc.o.d"
+  "/root/repo/src/ir/expr.cc" "src/CMakeFiles/artemis_ir.dir/ir/expr.cc.o" "gcc" "src/CMakeFiles/artemis_ir.dir/ir/expr.cc.o.d"
+  "/root/repo/src/ir/lowering.cc" "src/CMakeFiles/artemis_ir.dir/ir/lowering.cc.o" "gcc" "src/CMakeFiles/artemis_ir.dir/ir/lowering.cc.o.d"
+  "/root/repo/src/ir/state_machine.cc" "src/CMakeFiles/artemis_ir.dir/ir/state_machine.cc.o" "gcc" "src/CMakeFiles/artemis_ir.dir/ir/state_machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/artemis_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

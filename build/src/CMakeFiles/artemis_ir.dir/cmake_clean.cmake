@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artemis_ir.dir/ir/codegen_c.cc.o"
+  "CMakeFiles/artemis_ir.dir/ir/codegen_c.cc.o.d"
+  "CMakeFiles/artemis_ir.dir/ir/codegen_dot.cc.o"
+  "CMakeFiles/artemis_ir.dir/ir/codegen_dot.cc.o.d"
+  "CMakeFiles/artemis_ir.dir/ir/expr.cc.o"
+  "CMakeFiles/artemis_ir.dir/ir/expr.cc.o.d"
+  "CMakeFiles/artemis_ir.dir/ir/lowering.cc.o"
+  "CMakeFiles/artemis_ir.dir/ir/lowering.cc.o.d"
+  "CMakeFiles/artemis_ir.dir/ir/state_machine.cc.o"
+  "CMakeFiles/artemis_ir.dir/ir/state_machine.cc.o.d"
+  "libartemis_ir.a"
+  "libartemis_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artemis_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/app_graph.cc" "src/CMakeFiles/artemis_kernel.dir/kernel/app_graph.cc.o" "gcc" "src/CMakeFiles/artemis_kernel.dir/kernel/app_graph.cc.o.d"
+  "/root/repo/src/kernel/channel.cc" "src/CMakeFiles/artemis_kernel.dir/kernel/channel.cc.o" "gcc" "src/CMakeFiles/artemis_kernel.dir/kernel/channel.cc.o.d"
+  "/root/repo/src/kernel/checker.cc" "src/CMakeFiles/artemis_kernel.dir/kernel/checker.cc.o" "gcc" "src/CMakeFiles/artemis_kernel.dir/kernel/checker.cc.o.d"
+  "/root/repo/src/kernel/checkpoint.cc" "src/CMakeFiles/artemis_kernel.dir/kernel/checkpoint.cc.o" "gcc" "src/CMakeFiles/artemis_kernel.dir/kernel/checkpoint.cc.o.d"
+  "/root/repo/src/kernel/immortal.cc" "src/CMakeFiles/artemis_kernel.dir/kernel/immortal.cc.o" "gcc" "src/CMakeFiles/artemis_kernel.dir/kernel/immortal.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/CMakeFiles/artemis_kernel.dir/kernel/kernel.cc.o" "gcc" "src/CMakeFiles/artemis_kernel.dir/kernel/kernel.cc.o.d"
+  "/root/repo/src/kernel/task.cc" "src/CMakeFiles/artemis_kernel.dir/kernel/task.cc.o" "gcc" "src/CMakeFiles/artemis_kernel.dir/kernel/task.cc.o.d"
+  "/root/repo/src/kernel/trace.cc" "src/CMakeFiles/artemis_kernel.dir/kernel/trace.cc.o" "gcc" "src/CMakeFiles/artemis_kernel.dir/kernel/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/artemis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

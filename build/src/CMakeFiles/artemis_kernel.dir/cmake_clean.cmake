@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artemis_kernel.dir/kernel/app_graph.cc.o"
+  "CMakeFiles/artemis_kernel.dir/kernel/app_graph.cc.o.d"
+  "CMakeFiles/artemis_kernel.dir/kernel/channel.cc.o"
+  "CMakeFiles/artemis_kernel.dir/kernel/channel.cc.o.d"
+  "CMakeFiles/artemis_kernel.dir/kernel/checker.cc.o"
+  "CMakeFiles/artemis_kernel.dir/kernel/checker.cc.o.d"
+  "CMakeFiles/artemis_kernel.dir/kernel/checkpoint.cc.o"
+  "CMakeFiles/artemis_kernel.dir/kernel/checkpoint.cc.o.d"
+  "CMakeFiles/artemis_kernel.dir/kernel/immortal.cc.o"
+  "CMakeFiles/artemis_kernel.dir/kernel/immortal.cc.o.d"
+  "CMakeFiles/artemis_kernel.dir/kernel/kernel.cc.o"
+  "CMakeFiles/artemis_kernel.dir/kernel/kernel.cc.o.d"
+  "CMakeFiles/artemis_kernel.dir/kernel/task.cc.o"
+  "CMakeFiles/artemis_kernel.dir/kernel/task.cc.o.d"
+  "CMakeFiles/artemis_kernel.dir/kernel/trace.cc.o"
+  "CMakeFiles/artemis_kernel.dir/kernel/trace.cc.o.d"
+  "libartemis_kernel.a"
+  "libartemis_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artemis_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

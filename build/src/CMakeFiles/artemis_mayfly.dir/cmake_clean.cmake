@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artemis_mayfly.dir/mayfly/mayfly.cc.o"
+  "CMakeFiles/artemis_mayfly.dir/mayfly/mayfly.cc.o.d"
+  "libartemis_mayfly.a"
+  "libartemis_mayfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artemis_mayfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/arbitration.cc" "src/CMakeFiles/artemis_monitor.dir/monitor/arbitration.cc.o" "gcc" "src/CMakeFiles/artemis_monitor.dir/monitor/arbitration.cc.o.d"
+  "/root/repo/src/monitor/builtin.cc" "src/CMakeFiles/artemis_monitor.dir/monitor/builtin.cc.o" "gcc" "src/CMakeFiles/artemis_monitor.dir/monitor/builtin.cc.o.d"
+  "/root/repo/src/monitor/interp.cc" "src/CMakeFiles/artemis_monitor.dir/monitor/interp.cc.o" "gcc" "src/CMakeFiles/artemis_monitor.dir/monitor/interp.cc.o.d"
+  "/root/repo/src/monitor/monitor_set.cc" "src/CMakeFiles/artemis_monitor.dir/monitor/monitor_set.cc.o" "gcc" "src/CMakeFiles/artemis_monitor.dir/monitor/monitor_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/artemis_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artemis_monitor.dir/monitor/arbitration.cc.o"
+  "CMakeFiles/artemis_monitor.dir/monitor/arbitration.cc.o.d"
+  "CMakeFiles/artemis_monitor.dir/monitor/builtin.cc.o"
+  "CMakeFiles/artemis_monitor.dir/monitor/builtin.cc.o.d"
+  "CMakeFiles/artemis_monitor.dir/monitor/interp.cc.o"
+  "CMakeFiles/artemis_monitor.dir/monitor/interp.cc.o.d"
+  "CMakeFiles/artemis_monitor.dir/monitor/monitor_set.cc.o"
+  "CMakeFiles/artemis_monitor.dir/monitor/monitor_set.cc.o.d"
+  "libartemis_monitor.a"
+  "libartemis_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artemis_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/capacitor.cc" "src/CMakeFiles/artemis_sim.dir/sim/capacitor.cc.o" "gcc" "src/CMakeFiles/artemis_sim.dir/sim/capacitor.cc.o.d"
+  "/root/repo/src/sim/clock.cc" "src/CMakeFiles/artemis_sim.dir/sim/clock.cc.o" "gcc" "src/CMakeFiles/artemis_sim.dir/sim/clock.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/CMakeFiles/artemis_sim.dir/sim/cost_model.cc.o" "gcc" "src/CMakeFiles/artemis_sim.dir/sim/cost_model.cc.o.d"
+  "/root/repo/src/sim/harvester.cc" "src/CMakeFiles/artemis_sim.dir/sim/harvester.cc.o" "gcc" "src/CMakeFiles/artemis_sim.dir/sim/harvester.cc.o.d"
+  "/root/repo/src/sim/mcu.cc" "src/CMakeFiles/artemis_sim.dir/sim/mcu.cc.o" "gcc" "src/CMakeFiles/artemis_sim.dir/sim/mcu.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/CMakeFiles/artemis_sim.dir/sim/memory.cc.o" "gcc" "src/CMakeFiles/artemis_sim.dir/sim/memory.cc.o.d"
+  "/root/repo/src/sim/peripherals.cc" "src/CMakeFiles/artemis_sim.dir/sim/peripherals.cc.o" "gcc" "src/CMakeFiles/artemis_sim.dir/sim/peripherals.cc.o.d"
+  "/root/repo/src/sim/power_model.cc" "src/CMakeFiles/artemis_sim.dir/sim/power_model.cc.o" "gcc" "src/CMakeFiles/artemis_sim.dir/sim/power_model.cc.o.d"
+  "/root/repo/src/sim/tracegen.cc" "src/CMakeFiles/artemis_sim.dir/sim/tracegen.cc.o" "gcc" "src/CMakeFiles/artemis_sim.dir/sim/tracegen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/artemis_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artemis_sim.dir/sim/capacitor.cc.o"
+  "CMakeFiles/artemis_sim.dir/sim/capacitor.cc.o.d"
+  "CMakeFiles/artemis_sim.dir/sim/clock.cc.o"
+  "CMakeFiles/artemis_sim.dir/sim/clock.cc.o.d"
+  "CMakeFiles/artemis_sim.dir/sim/cost_model.cc.o"
+  "CMakeFiles/artemis_sim.dir/sim/cost_model.cc.o.d"
+  "CMakeFiles/artemis_sim.dir/sim/harvester.cc.o"
+  "CMakeFiles/artemis_sim.dir/sim/harvester.cc.o.d"
+  "CMakeFiles/artemis_sim.dir/sim/mcu.cc.o"
+  "CMakeFiles/artemis_sim.dir/sim/mcu.cc.o.d"
+  "CMakeFiles/artemis_sim.dir/sim/memory.cc.o"
+  "CMakeFiles/artemis_sim.dir/sim/memory.cc.o.d"
+  "CMakeFiles/artemis_sim.dir/sim/peripherals.cc.o"
+  "CMakeFiles/artemis_sim.dir/sim/peripherals.cc.o.d"
+  "CMakeFiles/artemis_sim.dir/sim/power_model.cc.o"
+  "CMakeFiles/artemis_sim.dir/sim/power_model.cc.o.d"
+  "CMakeFiles/artemis_sim.dir/sim/tracegen.cc.o"
+  "CMakeFiles/artemis_sim.dir/sim/tracegen.cc.o.d"
+  "libartemis_sim.a"
+  "libartemis_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artemis_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/app_lang.cc" "src/CMakeFiles/artemis_spec.dir/spec/app_lang.cc.o" "gcc" "src/CMakeFiles/artemis_spec.dir/spec/app_lang.cc.o.d"
+  "/root/repo/src/spec/ast.cc" "src/CMakeFiles/artemis_spec.dir/spec/ast.cc.o" "gcc" "src/CMakeFiles/artemis_spec.dir/spec/ast.cc.o.d"
+  "/root/repo/src/spec/consistency.cc" "src/CMakeFiles/artemis_spec.dir/spec/consistency.cc.o" "gcc" "src/CMakeFiles/artemis_spec.dir/spec/consistency.cc.o.d"
+  "/root/repo/src/spec/lexer.cc" "src/CMakeFiles/artemis_spec.dir/spec/lexer.cc.o" "gcc" "src/CMakeFiles/artemis_spec.dir/spec/lexer.cc.o.d"
+  "/root/repo/src/spec/mayfly_frontend.cc" "src/CMakeFiles/artemis_spec.dir/spec/mayfly_frontend.cc.o" "gcc" "src/CMakeFiles/artemis_spec.dir/spec/mayfly_frontend.cc.o.d"
+  "/root/repo/src/spec/parser.cc" "src/CMakeFiles/artemis_spec.dir/spec/parser.cc.o" "gcc" "src/CMakeFiles/artemis_spec.dir/spec/parser.cc.o.d"
+  "/root/repo/src/spec/token.cc" "src/CMakeFiles/artemis_spec.dir/spec/token.cc.o" "gcc" "src/CMakeFiles/artemis_spec.dir/spec/token.cc.o.d"
+  "/root/repo/src/spec/validator.cc" "src/CMakeFiles/artemis_spec.dir/spec/validator.cc.o" "gcc" "src/CMakeFiles/artemis_spec.dir/spec/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/artemis_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artemis_spec.dir/spec/app_lang.cc.o"
+  "CMakeFiles/artemis_spec.dir/spec/app_lang.cc.o.d"
+  "CMakeFiles/artemis_spec.dir/spec/ast.cc.o"
+  "CMakeFiles/artemis_spec.dir/spec/ast.cc.o.d"
+  "CMakeFiles/artemis_spec.dir/spec/consistency.cc.o"
+  "CMakeFiles/artemis_spec.dir/spec/consistency.cc.o.d"
+  "CMakeFiles/artemis_spec.dir/spec/lexer.cc.o"
+  "CMakeFiles/artemis_spec.dir/spec/lexer.cc.o.d"
+  "CMakeFiles/artemis_spec.dir/spec/mayfly_frontend.cc.o"
+  "CMakeFiles/artemis_spec.dir/spec/mayfly_frontend.cc.o.d"
+  "CMakeFiles/artemis_spec.dir/spec/parser.cc.o"
+  "CMakeFiles/artemis_spec.dir/spec/parser.cc.o.d"
+  "CMakeFiles/artemis_spec.dir/spec/token.cc.o"
+  "CMakeFiles/artemis_spec.dir/spec/token.cc.o.d"
+  "CMakeFiles/artemis_spec.dir/spec/validator.cc.o"
+  "CMakeFiles/artemis_spec.dir/spec/validator.cc.o.d"
+  "libartemis_spec.a"
+  "libartemis_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artemis_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

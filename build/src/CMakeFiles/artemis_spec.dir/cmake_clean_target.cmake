@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libartemis_spec.a"
+)

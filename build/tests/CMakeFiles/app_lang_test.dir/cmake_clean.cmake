@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_lang_test.dir/app_lang_test.cc.o"
+  "CMakeFiles/app_lang_test.dir/app_lang_test.cc.o.d"
+  "app_lang_test"
+  "app_lang_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_lang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

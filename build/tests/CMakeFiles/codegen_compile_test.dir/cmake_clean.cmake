@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_compile_test.dir/codegen_compile_test.cc.o"
+  "CMakeFiles/codegen_compile_test.dir/codegen_compile_test.cc.o.d"
+  "codegen_compile_test"
+  "codegen_compile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_compile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_exec_test.dir/codegen_exec_test.cc.o"
+  "CMakeFiles/codegen_exec_test.dir/codegen_exec_test.cc.o.d"
+  "codegen_exec_test"
+  "codegen_exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosspath_test.dir/crosspath_test.cc.o"
+  "CMakeFiles/crosspath_test.dir/crosspath_test.cc.o.d"
+  "crosspath_test"
+  "crosspath_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosspath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/artemis_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_mayfly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/artemis_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mayfly_test.dir/mayfly_test.cc.o"
+  "CMakeFiles/mayfly_test.dir/mayfly_test.cc.o.d"
+  "mayfly_test"
+  "mayfly_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mayfly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_capacitor_test.dir/sim_capacitor_test.cc.o"
+  "CMakeFiles/sim_capacitor_test.dir/sim_capacitor_test.cc.o.d"
+  "sim_capacitor_test"
+  "sim_capacitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_capacitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

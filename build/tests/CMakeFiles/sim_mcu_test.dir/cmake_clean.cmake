@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_mcu_test.dir/sim_mcu_test.cc.o"
+  "CMakeFiles/sim_mcu_test.dir/sim_mcu_test.cc.o.d"
+  "sim_mcu_test"
+  "sim_mcu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_mcu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timekeeper_test.dir/timekeeper_test.cc.o"
+  "CMakeFiles/timekeeper_test.dir/timekeeper_test.cc.o.d"
+  "timekeeper_test"
+  "timekeeper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timekeeper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracegen_test.dir/tracegen_test.cc.o"
+  "CMakeFiles/tracegen_test.dir/tracegen_test.cc.o.d"
+  "tracegen_test"
+  "tracegen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artemisc.dir/artemisc.cc.o"
+  "CMakeFiles/artemisc.dir/artemisc.cc.o.d"
+  "artemisc"
+  "artemisc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artemisc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
