@@ -11,9 +11,11 @@
 #include "src/core/builder.h"
 #include "src/core/runtime.h"
 #include "src/ir/codegen_c.h"
+#include "src/ir/compile.h"
 #include "src/ir/lowering.h"
 #include "src/mayfly/mayfly.h"
 #include "src/monitor/builtin.h"
+#include "src/monitor/compiled.h"
 #include "src/monitor/interp.h"
 #include "src/monitor/monitor_set.h"
 #include "src/spec/app_lang.h"
@@ -91,6 +93,164 @@ void BM_InterpretedMonitorStep(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
 }
 BENCHMARK(BM_InterpretedMonitorStep);
+
+void BM_CompiledMonitorStep(benchmark::State& state) {
+  HealthApp app = BuildHealthApp();
+  auto parsed = SpecParser::Parse(HealthAppSpec());
+  auto machines = LowerSpec(parsed.value(), app.graph, {});
+  CompiledMonitor monitor(
+      std::move(CompileStateMachine(machines.value()[1])).value());  // MITD(send<-accel)
+  SimTime ts = 0;
+  for (auto _ : state) {
+    MonitorVerdict verdict;
+    monitor.Step(MakeEvent(app.accel, EventKind::kEndTask, ts), &verdict);
+    monitor.Step(MakeEvent(app.send, EventKind::kStartTask, ts + 1000), &verdict);
+    benchmark::DoNotOptimize(verdict);
+    ts += 2000;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_CompiledMonitorStep);
+
+// ---- head-to-head backend benchmarks (BM_MonitorStep*) -----------------
+//
+// Two shapes, both on the health-app spec, both with events pre-generated
+// outside the timed region so only Monitor::Step is measured:
+//  * BM_MonitorStepHot — the MITD(send<-accel) machine fed only events it
+//    reacts to (every event dispatches, evaluates a guard, runs a body);
+//  * BM_MonitorStepSweep — all 8 property monitors stepped through a
+//    start/end cycle covering all three merged paths (the shape of a
+//    simulation sweep, including out-of-scope early-outs).
+// Reported items/sec == events/sec; the Sweep counter is raw steps/sec.
+// These are the numbers recorded in docs/monitor-backends.md.
+
+StateMachine HealthMitdMachine() {
+  HealthApp app = BuildHealthApp();
+  auto parsed = SpecParser::Parse(HealthAppSpec());
+  auto machines = LowerSpec(parsed.value(), app.graph, {});
+  return machines.value()[1];  // MITD(send<-accel)
+}
+
+// The monitor is held by concrete type (all three classes are final), as a
+// host-side sweep tool would: the compiler devirtualizes and inlines Step
+// for every backend equally, so the loop measures the backends themselves.
+template <typename MonitorT>
+void RunHotLoop(benchmark::State& state, MonitorT& monitor,
+                const std::vector<MonitorEvent>& events) {
+  MonitorVerdict verdict;
+  bool any_failed = false;
+  for (auto _ : state) {
+    // Accumulate instead of fencing every call: Step mutates monitor state,
+    // so calls cannot be elided, and one barrier per batch keeps the loop
+    // itself out of the measurement for every backend equally.
+    for (const MonitorEvent& e : events) {
+      any_failed |= monitor.Step(e, &verdict);
+    }
+    benchmark::DoNotOptimize(any_failed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * events.size()));
+}
+
+void BM_MonitorStepHot(benchmark::State& state, MonitorBackend backend) {
+  HealthApp app = BuildHealthApp();
+  // A repeating in-window end(accel)/start(send) pair: every event fires a
+  // transition (dispatch + guard + body), no early-outs.
+  std::vector<MonitorEvent> events;
+  SimTime ts = 0;
+  for (int i = 0; i < 64; ++i) {
+    events.push_back(MakeEvent(app.accel, EventKind::kEndTask, ts));
+    events.push_back(MakeEvent(app.send, EventKind::kStartTask, ts + 1000));
+    ts += 2000;
+  }
+  switch (backend) {
+    case MonitorBackend::kBuiltin: {
+      MitdMonitor monitor("MITD(send<-accel)", app.send, app.accel, 5 * kMinute,
+                          ActionType::kRestartPath, 3, ActionType::kSkipPath, 2);
+      RunHotLoop(state, monitor, events);
+      break;
+    }
+    case MonitorBackend::kCompiled: {
+      CompiledMonitor monitor(std::move(CompileStateMachine(HealthMitdMachine())).value());
+      RunHotLoop(state, monitor, events);
+      break;
+    }
+    case MonitorBackend::kInterpreted: {
+      InterpretedMonitor monitor(HealthMitdMachine());
+      RunHotLoop(state, monitor, events);
+      break;
+    }
+  }
+}
+BENCHMARK_CAPTURE(BM_MonitorStepHot, interpreted, MonitorBackend::kInterpreted);
+BENCHMARK_CAPTURE(BM_MonitorStepHot, compiled, MonitorBackend::kCompiled);
+BENCHMARK_CAPTURE(BM_MonitorStepHot, builtin, MonitorBackend::kBuiltin);
+
+std::vector<MonitorEvent> HealthEventCycle(const HealthApp& app, SimTime base,
+                                           std::uint64_t* seq) {
+  struct PathRun {
+    PathId path;
+    std::vector<TaskId> tasks;
+  };
+  const std::vector<PathRun> runs = {
+      {1, {app.body_temp, app.calc_avg, app.heart_rate, app.send}},
+      {2, {app.accel, app.filter, app.send}},
+      {3, {app.mic_sense, app.classify, app.send}},
+  };
+  std::vector<MonitorEvent> events;
+  SimTime ts = base;
+  for (const PathRun& run : runs) {
+    for (const TaskId task : run.tasks) {
+      for (const EventKind kind : {EventKind::kStartTask, EventKind::kEndTask}) {
+        MonitorEvent e;
+        e.kind = kind;
+        e.task = task;
+        e.timestamp = ts;
+        e.path = run.path;
+        e.seq = ++*seq;
+        e.has_dep_data = kind == EventKind::kEndTask && task == app.calc_avg;
+        e.dep_data = 36.8;
+        e.energy_fraction = 0.8;
+        events.push_back(e);
+        ts += 50 * kMillisecond;
+      }
+    }
+  }
+  return events;
+}
+
+void BM_MonitorStepSweep(benchmark::State& state, MonitorBackend backend) {
+  HealthApp app = BuildHealthApp();
+  auto parsed = SpecParser::Parse(HealthAppSpec());
+  auto set = std::move(BuildMonitorSet(parsed.value(), app.graph, backend, {},
+                                       ArbitrationPolicy::kSeverity))
+                 .value();
+  // Sixteen path cycles with monotonic timestamps, replayed every iteration
+  // (the backward time jump at the replay seam hits all backends equally).
+  std::uint64_t seq = 0;
+  std::vector<MonitorEvent> events;
+  for (int cycle = 0; cycle < 16; ++cycle) {
+    const SimTime base = static_cast<SimTime>(events.size()) * 50 * kMillisecond;
+    for (const MonitorEvent& e : HealthEventCycle(app, base, &seq)) {
+      events.push_back(e);
+    }
+  }
+  MonitorVerdict verdict;
+  for (auto _ : state) {
+    for (const MonitorEvent& e : events) {
+      for (std::size_t i = 0; i < set->size(); ++i) {
+        benchmark::DoNotOptimize(set->monitor(i).Step(e, &verdict));
+      }
+    }
+  }
+  const auto processed = static_cast<int64_t>(state.iterations() * events.size());
+  state.SetItemsProcessed(processed);  // items/sec == monitored events/sec
+  state.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(processed) * static_cast<double>(set->size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_MonitorStepSweep, interpreted, MonitorBackend::kInterpreted);
+BENCHMARK_CAPTURE(BM_MonitorStepSweep, compiled, MonitorBackend::kCompiled);
+BENCHMARK_CAPTURE(BM_MonitorStepSweep, builtin, MonitorBackend::kBuiltin);
 
 void BM_BuiltinMonitorStep(benchmark::State& state) {
   HealthApp app = BuildHealthApp();

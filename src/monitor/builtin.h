@@ -122,7 +122,7 @@ class CollectMonitor : public BuiltinMonitor {
 };
 
 // MITD with maxAttempt escalation (Figure 10's MITD_t).
-class MitdMonitor : public BuiltinMonitor {
+class MitdMonitor final : public BuiltinMonitor {
  public:
   MitdMonitor(std::string label, TaskId task, TaskId dep, SimDuration limit, ActionType action,
               std::uint32_t max_attempt, ActionType max_action, PathId target_path,

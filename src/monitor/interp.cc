@@ -1,12 +1,31 @@
 #include "src/monitor/interp.h"
 
+#include <algorithm>
+
 namespace artemis {
 
+std::size_t InterpretedMonitor::StateIndex(const std::string& state) const {
+  const auto it = std::find(machine_.states.begin(), machine_.states.end(), state);
+  return it != machine_.states.end()
+             ? static_cast<std::size_t>(it - machine_.states.begin())
+             : 0;
+}
+
 InterpretedMonitor::InterpretedMonitor(StateMachine machine)
-    : machine_(std::move(machine)), current_(machine_.initial), env_(machine_.variables) {}
+    : machine_(std::move(machine)), env_(machine_.variables) {
+  initial_index_ = StateIndex(machine_.initial);
+  current_ = initial_index_;
+  by_state_.resize(machine_.states.size());
+  to_index_.reserve(machine_.transitions.size());
+  for (std::uint32_t i = 0; i < machine_.transitions.size(); ++i) {
+    const Transition& t = machine_.transitions[i];
+    by_state_[StateIndex(t.from)].push_back(i);
+    to_index_.push_back(StateIndex(t.to));
+  }
+}
 
 void InterpretedMonitor::HardReset() {
-  current_ = machine_.initial;
+  current_ = initial_index_;
   env_ = machine_.variables;
 }
 
@@ -17,7 +36,7 @@ void InterpretedMonitor::OnPathRestart(PathId path) {
   if (machine_.path_scope != kNoPath && machine_.path_scope != path) {
     return;
   }
-  current_ = machine_.initial;
+  current_ = initial_index_;
   // Counters keep their values; only the control state re-initializes, so a
   // maxDuration machine abandons its in-flight measurement.
 }
@@ -38,15 +57,18 @@ bool InterpretedMonitor::Step(const MonitorEvent& event, MonitorVerdict* verdict
   if (machine_.path_scope != kNoPath && event.path != machine_.path_scope) {
     return false;  // Out-of-scope events are invisible to this machine.
   }
-  for (const Transition& t : machine_.transitions) {
-    if (t.from != current_ || !TriggerMatches(t, event)) {
+  // Only transitions leaving the current state are candidates; unrelated
+  // states are never scanned.
+  for (const std::uint32_t i : by_state_[current_]) {
+    const Transition& t = machine_.transitions[i];
+    if (!TriggerMatches(t, event)) {
       continue;
     }
     if (t.guard != nullptr && EvalExpr(*t.guard, env_, event) == 0.0) {
       continue;
     }
     const bool failed = ExecStmts(t.body, &env_, event, verdict);
-    current_ = t.to;
+    current_ = to_index_[i];
     return failed;
   }
   return false;  // Implicit self-transition.

@@ -3,17 +3,24 @@
 // declaration order from the current state; the first whose trigger and
 // guard match fires; events matching no transition are accepted with no
 // state change (implicit self-transition).
+//
+// The constructor interns state names and groups transition indices by
+// from-state, so Step only scans transitions that actually leave the
+// current state (the compiled backend in compiled.h goes further and
+// flattens guards/bodies too).
 #ifndef SRC_MONITOR_INTERP_H_
 #define SRC_MONITOR_INTERP_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/ir/state_machine.h"
 #include "src/monitor/monitor.h"
 
 namespace artemis {
 
-class InterpretedMonitor : public Monitor {
+class InterpretedMonitor final : public Monitor {
  public:
   explicit InterpretedMonitor(StateMachine machine);
 
@@ -25,16 +32,23 @@ class InterpretedMonitor : public Monitor {
   std::size_t FramBytes() const override;
 
   // Test hooks.
-  const std::string& current_state() const { return current_; }
+  const std::string& current_state() const { return machine_.states[current_]; }
   double VarValue(const std::string& name) const;
   const StateMachine& machine() const { return machine_; }
 
  private:
   bool TriggerMatches(const Transition& t, const MonitorEvent& event) const;
+  std::size_t StateIndex(const std::string& state) const;
 
   StateMachine machine_;
+  // Transition indices leaving each state (index == position of the state
+  // in machine_.states), declaration order preserved.
+  std::vector<std::vector<std::uint32_t>> by_state_;
+  // Per-transition destination state index (avoids re-resolving t.to).
+  std::vector<std::size_t> to_index_;
+  std::size_t initial_index_ = 0;
   // FRAM-resident execution state.
-  std::string current_;
+  std::size_t current_ = 0;
   VarEnv env_;
 };
 

@@ -1,6 +1,8 @@
 #include "src/monitor/monitor_set.h"
 
+#include "src/ir/compile.h"
 #include "src/monitor/builtin.h"
+#include "src/monitor/compiled.h"
 #include "src/monitor/interp.h"
 #include "src/sim/mcu.h"
 
@@ -12,6 +14,8 @@ const char* MonitorBackendName(MonitorBackend backend) {
       return "interpreted";
     case MonitorBackend::kBuiltin:
       return "builtin";
+    case MonitorBackend::kCompiled:
+      return "compiled";
   }
   return "?";
 }
@@ -60,6 +64,7 @@ void MonitorSet::HardReset(Mcu& mcu) {
   }
   pending_.clear();
   done_seq_ = 0;
+  has_cached_verdict_ = false;
   cached_verdict_ = MonitorVerdict{};
   continuation_.Finish();
 }
@@ -97,8 +102,9 @@ CheckOutcome MonitorSet::OnEvent(const MonitorEvent& event, Mcu& mcu) {
     return outcome;
   }
   // Exactly-once verdicts: a boundary retry after the verdict was computed
-  // replays from the cache without re-stepping any monitor.
-  if (event.seq == done_seq_ && done_seq_ != 0) {
+  // replays from the cache without re-stepping any monitor. The explicit
+  // flag (not a seq sentinel) keeps this correct for an event with seq 0.
+  if (has_cached_verdict_ && event.seq == done_seq_) {
     outcome.verdict = cached_verdict_;
     return outcome;
   }
@@ -137,6 +143,7 @@ CheckOutcome MonitorSet::OnEvent(const MonitorEvent& event, Mcu& mcu) {
   pending_.clear();
   continuation_.Finish();
   done_seq_ = event.seq;
+  has_cached_verdict_ = true;
   cached_verdict_ = verdict;
   ++events_processed_;
   outcome.verdict = verdict;
@@ -164,13 +171,21 @@ StatusOr<std::unique_ptr<MonitorSet>> BuildMonitorSet(const SpecAst& spec, const
                                                       const LoweringOptions& lowering,
                                                       const MonitorSetOptions& options) {
   auto set = std::make_unique<MonitorSet>(options);
-  if (backend == MonitorBackend::kInterpreted) {
+  if (backend == MonitorBackend::kInterpreted || backend == MonitorBackend::kCompiled) {
     StatusOr<std::vector<StateMachine>> machines = LowerSpec(spec, graph, lowering);
     if (!machines.ok()) {
       return machines.status();
     }
     for (StateMachine& machine : machines.value()) {
-      set->Add(std::make_unique<InterpretedMonitor>(std::move(machine)));
+      if (backend == MonitorBackend::kCompiled) {
+        StatusOr<CompiledMachine> compiled = CompileStateMachine(machine);
+        if (!compiled.ok()) {
+          return compiled.status();
+        }
+        set->Add(std::make_unique<CompiledMonitor>(std::move(compiled).value()));
+      } else {
+        set->Add(std::make_unique<InterpretedMonitor>(std::move(machine)));
+      }
     }
     return set;
   }

@@ -31,7 +31,7 @@
 
 namespace artemis {
 
-enum class MonitorBackend { kInterpreted, kBuiltin };
+enum class MonitorBackend { kInterpreted, kBuiltin, kCompiled };
 
 const char* MonitorBackendName(MonitorBackend backend);
 
@@ -108,6 +108,9 @@ class MonitorSet : public PropertyChecker {
   ImmortalContext continuation_{nullptr, MemOwner::kMonitor, "monitor-continuation"};
   std::vector<MonitorVerdict> pending_;  // failures gathered for the in-flight event
   std::uint64_t done_seq_ = 0;           // last fully processed event
+  // Explicit cache-valid flag: `done_seq_` alone cannot distinguish "no
+  // event processed yet" from a processed event with seq == 0.
+  bool has_cached_verdict_ = false;
   MonitorVerdict cached_verdict_;        // its arbitrated verdict
   bool arena_registered_ = false;
 
@@ -117,7 +120,10 @@ class MonitorSet : public PropertyChecker {
 
 // Builds a MonitorSet from a validated spec with the chosen backend.
 // kInterpreted lowers each property to an intermediate-language machine and
-// interprets it; kBuiltin instantiates the Figure 10 style structures.
+// interprets it; kBuiltin instantiates the Figure 10 style structures;
+// kCompiled lowers and then flattens each machine into slot-indexed
+// bytecode (src/ir/compile.h) for fast host-side sweeps — see
+// docs/monitor-backends.md.
 StatusOr<std::unique_ptr<MonitorSet>> BuildMonitorSet(const SpecAst& spec, const AppGraph& graph,
                                                       MonitorBackend backend,
                                                       const LoweringOptions& lowering = {},

@@ -32,6 +32,9 @@ struct CostModel {
   // Per-property step for builtin ("generated C") monitors; cheaper, the
   // code is straight-line.
   std::uint32_t builtin_step_cycles = 14;
+  // Per-property step for compiled (bytecode) monitors: flat slot-indexed
+  // dispatch, cheaper than tree interpretation but still a dispatch loop.
+  std::uint32_t compiled_step_cycles = 18;
   // Mayfly's fused inline check per boundary (expiration + collect only).
   std::uint32_t mayfly_check_cycles = 72;
   // Applying a corrective action (getNextTask with a violation).

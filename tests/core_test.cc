@@ -64,11 +64,12 @@ TEST(ArtemisRuntimeTest, RunsHealthAppOnContinuousPower) {
 
 TEST(ArtemisRuntimeTest, BackendsProduceIdenticalExecution) {
   for (const SimDuration charge : {kSecond, kMinute}) {
-    KernelRunResult results[2];
-    std::uint64_t sends[2];
+    // Ordered by simulated per-step cost: builtin < compiled < interpreted.
+    KernelRunResult results[3];
+    std::uint64_t sends[3];
     int i = 0;
     for (const MonitorBackend backend :
-         {MonitorBackend::kBuiltin, MonitorBackend::kInterpreted}) {
+         {MonitorBackend::kBuiltin, MonitorBackend::kCompiled, MonitorBackend::kInterpreted}) {
       HealthApp app = BuildHealthApp();
       auto mcu = PlatformBuilder().WithFixedCharge(19'500.0, charge).Build();
       ArtemisConfig config;
@@ -80,19 +81,21 @@ TEST(ArtemisRuntimeTest, BackendsProduceIdenticalExecution) {
       sends[i] = runtime.value()->kernel().channels().CompletionCount(app.send);
       ++i;
     }
-    EXPECT_EQ(results[0].completed, results[1].completed);
-    EXPECT_EQ(results[0].stats.reboots, results[1].stats.reboots);
-    EXPECT_EQ(sends[0], sends[1]);
-    // App time nearly identical: the interpreter's extra monitor cycles
-    // shift where power failures land inside task bodies, which perturbs the
-    // aborted-partial-run accounting by microseconds.
-    const double app0 =
-        static_cast<double>(results[0].stats.busy_time[static_cast<int>(CostTag::kApp)]);
-    const double app1 =
-        static_cast<double>(results[1].stats.busy_time[static_cast<int>(CostTag::kApp)]);
-    EXPECT_NEAR(app0 / app1, 1.0, 0.01);
-    EXPECT_LT(results[0].stats.busy_time[static_cast<int>(CostTag::kMonitor)],
-              results[1].stats.busy_time[static_cast<int>(CostTag::kMonitor)]);
+    for (int j = 1; j < 3; ++j) {
+      EXPECT_EQ(results[0].completed, results[j].completed) << j;
+      EXPECT_EQ(results[0].stats.reboots, results[j].stats.reboots) << j;
+      EXPECT_EQ(sends[0], sends[j]) << j;
+      // App time nearly identical: a backend's extra monitor cycles shift
+      // where power failures land inside task bodies, which perturbs the
+      // aborted-partial-run accounting by microseconds.
+      const double app0 =
+          static_cast<double>(results[0].stats.busy_time[static_cast<int>(CostTag::kApp)]);
+      const double appj =
+          static_cast<double>(results[j].stats.busy_time[static_cast<int>(CostTag::kApp)]);
+      EXPECT_NEAR(app0 / appj, 1.0, 0.01);
+      EXPECT_LT(results[j - 1].stats.busy_time[static_cast<int>(CostTag::kMonitor)],
+                results[j].stats.busy_time[static_cast<int>(CostTag::kMonitor)]);
+    }
   }
 }
 

@@ -7,9 +7,11 @@
 #include <memory>
 
 #include "src/apps/health_app.h"
+#include "src/ir/compile.h"
 #include "src/ir/lowering.h"
 #include "src/monitor/arbitration.h"
 #include "src/monitor/builtin.h"
+#include "src/monitor/compiled.h"
 #include "src/monitor/interp.h"
 #include "src/monitor/monitor_set.h"
 #include "src/sim/mcu.h"
@@ -41,11 +43,13 @@ MonitorEvent End(TaskId task, SimTime ts, PathId path = 1) {
   return e;
 }
 
-// Builds both backends for the same single-property spec against a tiny
-// two-task graph (a than b on path 1, with a second path for scoping tests).
+// Builds all three backends for the same single-property spec against a
+// tiny two-task graph (a then b on path 1, with a second path for scoping
+// tests).
 struct BothBackends {
   std::unique_ptr<Monitor> builtin;
   std::unique_ptr<Monitor> interpreted;
+  std::unique_ptr<Monitor> compiled;
 };
 
 AppGraph TwoTaskGraph() {
@@ -70,6 +74,9 @@ BothBackends Build(const std::string& block) {
   out.builtin = std::move(MakeBuiltinMonitor(property, task, graph, false)).value();
   auto machine = LowerProperty(property, task, graph, {});
   EXPECT_TRUE(machine.ok()) << machine.status().ToString();
+  auto compiled = CompileStateMachine(machine.value());
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  out.compiled = std::make_unique<CompiledMonitor>(std::move(compiled).value());
   out.interpreted = std::make_unique<InterpretedMonitor>(std::move(machine).value());
   return out;
 }
@@ -82,7 +89,7 @@ TEST_P(MaxTriesParamTest, FiresOnNPlusFirstStart) {
   const int n = GetParam();
   BothBackends monitors =
       Build("a: { maxTries: " + std::to_string(n) + " onFail: skipPath; }");
-  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get()}) {
+  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get(), monitors.compiled.get()}) {
     MonitorVerdict verdict;
     for (int i = 0; i < n; ++i) {
       EXPECT_FALSE(monitor->Step(Start(kA, 10 + i), &verdict)) << i;
@@ -100,7 +107,7 @@ INSTANTIATE_TEST_SUITE_P(Bounds, MaxTriesParamTest, ::testing::Values(1, 2, 3, 5
 
 TEST(MaxTriesTest, CompletionResetsCounter) {
   BothBackends monitors = Build("a: { maxTries: 3 onFail: skipPath; }");
-  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get()}) {
+  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get(), monitors.compiled.get()}) {
     MonitorVerdict verdict;
     EXPECT_FALSE(monitor->Step(Start(kA, 1), &verdict));
     EXPECT_FALSE(monitor->Step(Start(kA, 2), &verdict));
@@ -115,7 +122,7 @@ TEST(MaxTriesTest, CompletionResetsCounter) {
 
 TEST(MaxDurationTest, PassesWithinBudgetFailsBeyond) {
   BothBackends monitors = Build("a: { maxDuration: 100ms onFail: skipTask; }");
-  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get()}) {
+  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get(), monitors.compiled.get()}) {
     MonitorVerdict verdict;
     EXPECT_FALSE(monitor->Step(Start(kA, 0), &verdict));
     EXPECT_FALSE(monitor->Step(End(kA, 80 * kMillisecond), &verdict));
@@ -128,7 +135,7 @@ TEST(MaxDurationTest, PassesWithinBudgetFailsBeyond) {
 
 TEST(MaxDurationTest, AnyLateEventTriggers) {
   BothBackends monitors = Build("a: { maxDuration: 100ms onFail: skipTask; }");
-  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get()}) {
+  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get(), monitors.compiled.get()}) {
     MonitorVerdict verdict;
     EXPECT_FALSE(monitor->Step(Start(kA, 0), &verdict));
     // A late *start of another task* exposes the overrun too (anyEvent).
@@ -139,7 +146,7 @@ TEST(MaxDurationTest, AnyLateEventTriggers) {
 TEST(MaxDurationTest, RedeliveredStartKeepsFirstTimestamp) {
   // Section 4.1.3: the monitor disregards refreshed start timestamps.
   BothBackends monitors = Build("a: { maxDuration: 100ms onFail: skipTask; }");
-  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get()}) {
+  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get(), monitors.compiled.get()}) {
     MonitorVerdict verdict;
     EXPECT_FALSE(monitor->Step(Start(kA, 0), &verdict));
     EXPECT_FALSE(monitor->Step(Start(kA, 50 * kMillisecond), &verdict));  // Re-delivery.
@@ -154,7 +161,7 @@ TEST_P(CollectParamTest, RequiresExactCount) {
   const int n = GetParam();
   BothBackends monitors =
       Build("a: { collect: " + std::to_string(n) + " dpTask: b onFail: restartPath; }");
-  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get()}) {
+  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get(), monitors.compiled.get()}) {
     MonitorVerdict verdict;
     for (int i = 0; i < n - 1; ++i) {
       EXPECT_FALSE(monitor->Step(End(kB, 10 + i), &verdict));
@@ -170,7 +177,7 @@ INSTANTIATE_TEST_SUITE_P(Counts, CollectParamTest, ::testing::Values(1, 2, 5, 10
 
 TEST(CollectTest, ReexecutedStartStillPasses) {
   BothBackends monitors = Build("a: { collect: 1 dpTask: b onFail: restartPath; }");
-  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get()}) {
+  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get(), monitors.compiled.get()}) {
     MonitorVerdict verdict;
     EXPECT_FALSE(monitor->Step(End(kB, 1), &verdict));
     EXPECT_FALSE(monitor->Step(Start(kA, 2), &verdict));
@@ -184,7 +191,7 @@ TEST(CollectTest, ReexecutedStartStillPasses) {
 
 TEST(MitdTest, InWindowPassesOutOfWindowFails) {
   BothBackends monitors = Build("a: { MITD: 1min dpTask: b onFail: restartPath; }");
-  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get()}) {
+  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get(), monitors.compiled.get()}) {
     MonitorVerdict verdict;
     EXPECT_FALSE(monitor->Step(End(kB, 0), &verdict));
     EXPECT_FALSE(monitor->Step(Start(kA, 30 * kSecond), &verdict));
@@ -196,7 +203,7 @@ TEST(MitdTest, InWindowPassesOutOfWindowFails) {
 
 TEST(MitdTest, StartBeforeAnyDependencyIsIgnored) {
   BothBackends monitors = Build("a: { MITD: 1min dpTask: b onFail: restartPath; }");
-  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get()}) {
+  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get(), monitors.compiled.get()}) {
     MonitorVerdict verdict;
     EXPECT_FALSE(monitor->Step(Start(kA, 10 * kMinute), &verdict));
   }
@@ -208,7 +215,7 @@ TEST_P(MitdMaxAttemptTest, EscalatesOnNthConsecutiveViolation) {
   const int m = GetParam();
   BothBackends monitors = Build("a: { MITD: 1min dpTask: b onFail: restartPath maxAttempt: " +
                                 std::to_string(m) + " onFail: skipPath; }");
-  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get()}) {
+  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get(), monitors.compiled.get()}) {
     SimTime now = 0;
     MonitorVerdict verdict;
     for (int i = 1; i <= m; ++i) {
@@ -235,7 +242,7 @@ INSTANTIATE_TEST_SUITE_P(Attempts, MitdMaxAttemptTest, ::testing::Values(1, 2, 3
 TEST(MitdTest, SuccessfulCompletionResetsAttempts) {
   BothBackends monitors = Build(
       "a: { MITD: 1min dpTask: b onFail: restartPath maxAttempt: 2 onFail: skipPath; }");
-  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get()}) {
+  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get(), monitors.compiled.get()}) {
     MonitorVerdict verdict;
     // Violation #1.
     EXPECT_FALSE(monitor->Step(End(kB, 0), &verdict));
@@ -253,7 +260,7 @@ TEST(MitdTest, SuccessfulCompletionResetsAttempts) {
 
 TEST(PeriodTest, FiresWhenGapExceedsPeriodPlusJitter) {
   BothBackends monitors = Build("a: { period: 1s jitter: 100ms onFail: restartTask; }");
-  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get()}) {
+  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get(), monitors.compiled.get()}) {
     MonitorVerdict verdict;
     EXPECT_FALSE(monitor->Step(Start(kA, 0), &verdict));  // First start arms.
     EXPECT_FALSE(monitor->Step(Start(kA, kSecond), &verdict));
@@ -268,7 +275,7 @@ TEST(PeriodTest, FiresWhenGapExceedsPeriodPlusJitter) {
 TEST(DpDataTest, RangeEdgesAreInclusive) {
   BothBackends monitors =
       Build("a: { dpData: v Range: [36, 38] onFail: completePath; }");
-  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get()}) {
+  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get(), monitors.compiled.get()}) {
     MonitorVerdict verdict;
     auto end_with = [&](double value, SimTime ts) {
       MonitorEvent e = End(kA, ts);
@@ -288,7 +295,7 @@ TEST(DpDataTest, RangeEdgesAreInclusive) {
 TEST(DpDataTest, MissingDataNeverFires) {
   BothBackends monitors =
       Build("a: { dpData: v Range: [36, 38] onFail: completePath; }");
-  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get()}) {
+  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get(), monitors.compiled.get()}) {
     MonitorVerdict verdict;
     EXPECT_FALSE(monitor->Step(End(kA, 1), &verdict));  // has_dep_data == false
   }
@@ -296,7 +303,7 @@ TEST(DpDataTest, MissingDataNeverFires) {
 
 TEST(MinEnergyTest, FiresBelowThreshold) {
   BothBackends monitors = Build("a: { minEnergy: 0.5 onFail: skipTask; }");
-  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get()}) {
+  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get(), monitors.compiled.get()}) {
     MonitorVerdict verdict;
     MonitorEvent rich = Start(kA, 1);
     rich.energy_fraction = 0.9;
@@ -311,7 +318,7 @@ TEST(MinEnergyTest, FiresBelowThreshold) {
 TEST(PathScopeTest, OutOfScopeEventsInvisible) {
   BothBackends monitors =
       Build("a: { maxTries: 1 onFail: skipPath Path: 2; }");
-  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get()}) {
+  for (Monitor* monitor : {monitors.builtin.get(), monitors.interpreted.get(), monitors.compiled.get()}) {
     MonitorVerdict verdict;
     // Starts on path 1 never count.
     EXPECT_FALSE(monitor->Step(Start(kA, 1, /*path=*/1), &verdict));
@@ -348,15 +355,21 @@ TEST_P(BackendEquivalenceTest, SameVerdictsOnRandomEventStream) {
     e.has_dep_data = e.kind == EventKind::kEndTask && e.task == kA;
     e.dep_data = rng.UniformDouble(30.0, 45.0);
     e.energy_fraction = rng.NextDouble();
-    MonitorVerdict builtin_verdict, interp_verdict;
+    MonitorVerdict builtin_verdict, interp_verdict, compiled_verdict;
     const bool builtin_failed = monitors.builtin->Step(e, &builtin_verdict);
     const bool interp_failed = monitors.interpreted->Step(e, &interp_verdict);
+    const bool compiled_failed = monitors.compiled->Step(e, &compiled_verdict);
     ASSERT_EQ(builtin_failed, interp_failed)
+        << "event #" << i << " kind=" << static_cast<int>(e.kind) << " task=" << e.task
+        << " path=" << e.path << " spec=" << GetParam().spec;
+    ASSERT_EQ(interp_failed, compiled_failed)
         << "event #" << i << " kind=" << static_cast<int>(e.kind) << " task=" << e.task
         << " path=" << e.path << " spec=" << GetParam().spec;
     if (builtin_failed) {
       EXPECT_EQ(builtin_verdict.action, interp_verdict.action);
       EXPECT_EQ(builtin_verdict.target_path, interp_verdict.target_path);
+      EXPECT_EQ(interp_verdict.action, compiled_verdict.action);
+      EXPECT_EQ(interp_verdict.target_path, compiled_verdict.target_path);
     }
   }
 }
@@ -431,7 +444,7 @@ std::unique_ptr<MonitorSet> HealthMonitors(MonitorBackend backend) {
 
 TEST(MonitorSetTest, BuildsOneMonitorPerProperty) {
   for (const MonitorBackend backend :
-       {MonitorBackend::kBuiltin, MonitorBackend::kInterpreted}) {
+       {MonitorBackend::kBuiltin, MonitorBackend::kInterpreted, MonitorBackend::kCompiled}) {
     auto set = HealthMonitors(backend);
     EXPECT_EQ(set->size(), 8u) << MonitorBackendName(backend);
     EXPECT_GT(set->FramBytes(), 0u);
@@ -452,6 +465,24 @@ TEST(MonitorSetTest, CachedVerdictForSameSeq) {
   const CheckOutcome second = set->OnEvent(e, *mcu);
   EXPECT_EQ(second.verdict.action, first.verdict.action);
   EXPECT_EQ(set->events_processed(), processed);
+}
+
+TEST(MonitorSetTest, CachedVerdictWorksForSeqZero) {
+  // Regression: the cache used `done_seq_ != 0` as its "no cached verdict"
+  // sentinel, so an event with seq == 0 could never replay from the cache
+  // and was re-stepped on every re-delivery.
+  auto set = HealthMonitors(MonitorBackend::kBuiltin);
+  auto mcu = TestMcu();
+  set->HardReset(*mcu);
+  HealthApp app = BuildHealthApp();
+  MonitorEvent e = Start(app.accel, kSecond, 2);
+  e.seq = 0;
+  const CheckOutcome first = set->OnEvent(e, *mcu);
+  EXPECT_EQ(first.status, 0);
+  EXPECT_EQ(set->events_processed(), 1u);
+  const CheckOutcome second = set->OnEvent(e, *mcu);
+  EXPECT_EQ(second.verdict.action, first.verdict.action);
+  EXPECT_EQ(set->events_processed(), 1u) << "seq-0 re-delivery must replay from cache";
 }
 
 TEST(MonitorSetTest, ResumesAfterPowerFailureWithoutDoubleStepping) {

@@ -6,6 +6,7 @@
 //   artemisc codegen  <spec-file> [--app ...] [--no-immortal]
 //   artemisc dot      <spec-file> [--app ...]
 //   artemisc simulate [--app ...] [--spec <file>] [--system artemis|mayfly]
+//                     [--backend builtin|interpreted|compiled]
 //                     [--charge <duration>] [--budget <uJ>] [--trace]
 //
 // `check` runs parse -> validate -> consistency analysis; `codegen`/`dot`
@@ -50,8 +51,9 @@ int Usage() {
                "  codegen  <spec> [--app ...] [--no-immortal]\n"
                "  dot      <spec> [--app ...]\n"
                "  simulate [--app ...] [--spec <file>] [--system artemis|mayfly]\n"
+               "           [--backend builtin|interpreted|compiled]\n"
                "           [--charge <duration>] [--budget <uJ>] [--trace]\n"
-               "  profile  [--app ...]\n");
+               "  profile  [--app ...] [--backend builtin|interpreted|compiled]\n");
   return 2;
 }
 
@@ -71,6 +73,7 @@ struct Args {
   std::string app = "health";
   std::string app_file;  // --app-file: app-description-language source
   std::string system = "artemis";
+  MonitorBackend backend = MonitorBackend::kBuiltin;
   bool mayfly_lang = false;
   bool immortal = true;
   bool trace = false;
@@ -111,6 +114,22 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         return false;
       }
       args->system = value;
+    } else if (flag == "--backend") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      if (std::strcmp(value, "builtin") == 0) {
+        args->backend = MonitorBackend::kBuiltin;
+      } else if (std::strcmp(value, "interpreted") == 0) {
+        args->backend = MonitorBackend::kInterpreted;
+      } else if (std::strcmp(value, "compiled") == 0) {
+        args->backend = MonitorBackend::kCompiled;
+      } else {
+        std::fprintf(stderr,
+                     "artemisc: unknown backend '%s' (builtin|interpreted|compiled)\n", value);
+        return false;
+      }
     } else if (flag == "--spec") {
       const char* value = next();
       if (value == nullptr) {
@@ -291,6 +310,7 @@ int RunProfile(const Args& args) {
   }
   auto mcu = PlatformBuilder().WithContinuousPower().Build();
   ArtemisConfig config;
+  config.backend = args.backend;
   config.kernel.record_trace = false;
   auto runtime =
       ArtemisRuntime::Create(&app->graph, app->default_spec, mcu.get(), config);
@@ -349,6 +369,7 @@ int RunSimulate(const Args& args) {
   std::unique_ptr<MayflyRuntime> mayfly_runtime;
   if (args.system == "artemis") {
     ArtemisConfig config;
+    config.backend = args.backend;
     config.kernel.max_wall_time = 12 * kHour;
     auto runtime = ArtemisRuntime::Create(&app->graph, source, mcu.get(), config);
     if (!runtime.ok()) {
