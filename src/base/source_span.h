@@ -1,0 +1,24 @@
+// A position in a specification source file, threaded from the lexer through
+// the AST into lowered state machines so IR-level diagnostics (src/analysis)
+// can point back at the property text that produced the construct.
+#ifndef SRC_BASE_SOURCE_SPAN_H_
+#define SRC_BASE_SOURCE_SPAN_H_
+
+#include <string>
+
+namespace artemis {
+
+struct SourceSpan {
+  int line = 0;    // 1-based; 0 means "no source position" (hand-built IR).
+  int column = 0;  // 1-based.
+
+  bool valid() const { return line > 0; }
+
+  std::string ToString() const {
+    return valid() ? std::to_string(line) + ":" + std::to_string(column) : "?";
+  }
+};
+
+}  // namespace artemis
+
+#endif  // SRC_BASE_SOURCE_SPAN_H_

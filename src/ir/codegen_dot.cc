@@ -45,36 +45,52 @@ std::string TransitionLabel(const Transition& t, const AppGraph& graph) {
 }
 
 void EmitMachineBody(std::ostringstream& out, const StateMachine& m, const AppGraph& graph,
-                     const std::string& prefix) {
+                     const std::string& prefix, const DotStyle* style) {
   for (const std::string& state : m.states) {
     out << "  " << prefix << state << " [label=\"" << EscapeLabel(state) << "\""
-        << (state == m.initial ? ", peripheries=2" : "") << "];\n";
+        << (state == m.initial ? ", peripheries=2" : "");
+    if (style != nullptr && style->dead_states.count(state) != 0) {
+      out << ", style=filled, fillcolor=\"gray88\", color=\"gray55\", fontcolor=\"gray45\"";
+    }
+    out << "];\n";
   }
-  for (const Transition& t : m.transitions) {
+  for (std::size_t i = 0; i < m.transitions.size(); ++i) {
+    const Transition& t = m.transitions[i];
     out << "  " << prefix << t.from << " -> " << prefix << t.to << " [label=\""
-        << EscapeLabel(TransitionLabel(t, graph)) << "\"];\n";
+        << EscapeLabel(TransitionLabel(t, graph)) << "\"";
+    if (style != nullptr && style->dead_transitions.count(static_cast<int>(i)) != 0) {
+      out << ", color=\"gray60\", fontcolor=\"gray60\", style=dashed";
+    }
+    out << "];\n";
   }
 }
 
 }  // namespace
 
-std::string MachineToDot(const StateMachine& machine, const AppGraph& graph) {
+std::string MachineToDot(const StateMachine& machine, const AppGraph& graph,
+                         const DotStyle* style) {
   std::ostringstream out;
   out << "digraph " << machine.name << " {\n  rankdir=LR;\n  label=\""
       << EscapeLabel(machine.property_label) << "\";\n";
-  EmitMachineBody(out, machine, graph, "");
+  EmitMachineBody(out, machine, graph, "", style);
   out << "}\n";
   return out.str();
 }
 
-std::string MachinesToDot(const std::vector<StateMachine>& machines, const AppGraph& graph) {
+std::string MachinesToDot(const std::vector<StateMachine>& machines, const AppGraph& graph,
+                          const DotAnnotations* annotations) {
   std::ostringstream out;
   out << "digraph monitors {\n  rankdir=LR;\n  compound=true;\n";
   for (std::size_t i = 0; i < machines.size(); ++i) {
     const StateMachine& m = machines[i];
+    const DotStyle* style = nullptr;
+    if (annotations != nullptr) {
+      const auto it = annotations->find(m.name);
+      if (it != annotations->end()) style = &it->second;
+    }
     out << "  subgraph cluster_" << i << " {\n    label=\"" << EscapeLabel(m.property_label)
         << "\";\n";
-    EmitMachineBody(out, m, graph, m.name + "_");
+    EmitMachineBody(out, m, graph, m.name + "_", style);
     out << "  }\n";
   }
   out << "}\n";

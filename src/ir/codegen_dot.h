@@ -1,8 +1,12 @@
 // Graphviz rendering of intermediate-language state machines, matching the
-// Figure 7 diagrams. Used by docs and the codegen_demo example.
+// Figure 7 diagrams. Used by docs and the codegen_demo example. The static
+// analyzer (src/analysis) can supply per-machine annotations that shade
+// dead states and transitions gray in the rendered graph.
 #ifndef SRC_IR_CODEGEN_DOT_H_
 #define SRC_IR_CODEGEN_DOT_H_
 
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -11,12 +15,24 @@
 
 namespace artemis {
 
+// Visual annotations for one machine: states/transitions the analyzer
+// proved dead are drawn grayed-out (filled gray nodes, dashed gray edges).
+struct DotStyle {
+  std::set<std::string> dead_states;
+  std::set<int> dead_transitions;  // indices into machine.transitions
+};
+
+// Machine name -> style.
+using DotAnnotations = std::map<std::string, DotStyle>;
+
 // One digraph per machine; `graph` resolves task ids to names for trigger
 // labels.
-std::string MachineToDot(const StateMachine& machine, const AppGraph& graph);
+std::string MachineToDot(const StateMachine& machine, const AppGraph& graph,
+                         const DotStyle* style = nullptr);
 
 // All machines in a single DOT document (clustered).
-std::string MachinesToDot(const std::vector<StateMachine>& machines, const AppGraph& graph);
+std::string MachinesToDot(const std::vector<StateMachine>& machines, const AppGraph& graph,
+                          const DotAnnotations* annotations = nullptr);
 
 }  // namespace artemis
 

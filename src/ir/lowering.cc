@@ -130,7 +130,12 @@ StateMachine LowerMitd(const PropertyAst& p, const std::string& label, TaskId a,
   m.states = {kWaitEndB, kWaitStartA};
   m.initial = kWaitEndB;
   m.variables["endB"] = 0.0;
-  m.variables["att"] = 0.0;
+  // The attempt counter only exists when maxAttempt is in play; otherwise
+  // it would be write-only state (8 wasted FRAM bytes per instance, flagged
+  // by the ART006 liveness pass).
+  if (p.max_attempt > 0) {
+    m.variables["att"] = 0.0;
+  }
   const double d = static_cast<double>(p.duration);
   const ExprPtr delay = Bin(BinOp::kSub, Ts(), Var("endB"));
   const ExprPtr in_time = Bin(BinOp::kLe, delay, Const(d));
@@ -159,12 +164,16 @@ StateMachine LowerMitd(const PropertyAst& p, const std::string& label, TaskId a,
                                      .task = a,
                                      .guard = in_time,
                                      .body = {}});
+  std::vector<StmtPtr> commit_body;
+  if (p.max_attempt > 0) {
+    commit_body.push_back(Assign("att", Const(0.0)));
+  }
   m.transitions.push_back(Transition{.from = kWaitStartA,
                                      .to = kWaitStartA,
                                      .trigger = TriggerKind::kEndTask,
                                      .task = a,
                                      .guard = nullptr,
-                                     .body = {Assign("att", Const(0.0))}});
+                                     .body = std::move(commit_body)});
   if (p.max_attempt > 0) {
     const double m_1 = static_cast<double>(p.max_attempt) - 1.0;
     m.transitions.push_back(Transition{
@@ -306,6 +315,7 @@ StatusOr<StateMachine> LowerProperty(const PropertyAst& property, const std::str
   machine.name = Sanitize(std::string(PropertyKindName(property.kind)) + "_" + task_name +
                           (property.dp_task.empty() ? "" : "_" + property.dp_task));
   machine.property_label = label;
+  machine.source = property.Span();
   machine.anchor_task = *anchor;
   // The Path qualifier scopes events only when the anchor actually lies on
   // that path (path merging); for cross-path dependencies it is solely the

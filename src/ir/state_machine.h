@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/source_span.h"
 #include "src/base/status.h"
 #include "src/ir/expr.h"
 #include "src/kernel/task.h"
@@ -38,6 +39,10 @@ struct StateMachine {
   std::string initial;
   VarEnv variables;  // name -> initial value
   std::vector<Transition> transitions;
+
+  // Position of the originating property in the spec source (0/0 for
+  // hand-built machines), so IR-level diagnostics point at the spec text.
+  SourceSpan source;
 
   // The task the property is attached to (the block's task in Figure 5).
   TaskId anchor_task = kInvalidTask;

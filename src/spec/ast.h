@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/source_span.h"
 #include "src/base/time.h"
 #include "src/kernel/checker.h"
 #include "src/kernel/task.h"
@@ -49,7 +50,12 @@ struct PropertyAst {
   bool has_range = false;
   SimDuration jitter = 0;                           // jitter: D (period only)
 
+  // Source position of the property key token (threaded from the lexer so
+  // IR-level diagnostics can point back at the spec text).
   int line = 0;
+  int column = 0;
+
+  SourceSpan Span() const { return SourceSpan{line, column}; }
 
   // Human-readable label for traces, e.g. "MITD(send<-accel)".
   std::string Label(const std::string& task_name) const;
@@ -59,6 +65,7 @@ struct TaskBlockAst {
   std::string task;
   std::vector<PropertyAst> properties;
   int line = 0;
+  int column = 0;
 };
 
 struct SpecAst {

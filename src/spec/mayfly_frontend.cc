@@ -25,6 +25,7 @@ class Parser {
       const Token keyword = Advance();
       PropertyAst property;
       property.line = keyword.line;
+      property.column = keyword.column;
       if (keyword.text == "expires") {
         property.kind = PropertyKind::kMitd;
       } else if (keyword.text == "collect") {
@@ -87,6 +88,7 @@ class Parser {
         task_order.push_back(consumer);
         blocks[consumer].task = consumer;
         blocks[consumer].line = keyword.line;
+        blocks[consumer].column = keyword.column;
       }
       blocks[consumer].properties.push_back(std::move(property));
     }

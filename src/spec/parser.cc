@@ -80,6 +80,7 @@ Status SpecParser::ParseBlock(SpecAst* spec) {
   TaskBlockAst block;
   block.task = Peek().text;
   block.line = Peek().line;
+  block.column = Peek().column;
   Advance();
   Match(TokenKind::kColon);  // Optional: both "send: {" and "calcAvg {" occur in Figure 5.
   if (Status status = Expect(TokenKind::kLBrace, "to open task block '" + block.task + "'");
@@ -106,6 +107,7 @@ Status SpecParser::ParseProperty(TaskBlockAst* block) {
   const Token key = Advance();
   PropertyAst property;
   property.line = key.line;
+  property.column = key.column;
   if (!PropertyKeyFromName(key.text, &property.kind)) {
     return ErrorAt(key, "unknown property '" + key.text + "'");
   }

@@ -1,0 +1,103 @@
+// Golden-file tests for the analyzer's rendered output: every shipped
+// example spec must analyze clean, and the examples/specs/bad fixtures must
+// reproduce their expected ART0xx findings byte-for-byte in both the text
+// and JSON renderers.
+//
+// Regenerate the goldens after an intentional output change with
+//   UPDATE_GOLDEN=1 ./analysis_golden_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/analysis/analyzer.h"
+#include "src/apps/health_app.h"
+#include "src/ir/lowering.h"
+#include "src/spec/app_lang.h"
+#include "src/spec/mayfly_frontend.h"
+#include "src/spec/parser.h"
+#include "src/spec/validator.h"
+
+namespace artemis {
+namespace {
+
+#ifndef ARTEMIS_SOURCE_DIR
+#define ARTEMIS_SOURCE_DIR "."
+#endif
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct GoldenCase {
+  const char* name;       // golden file stem under tests/golden/analysis/
+  const char* spec;       // spec path relative to the repo root
+  const char* app;        // demo app name, or "" when app_file is used
+  const char* app_file;   // app-description file, or ""
+  bool mayfly = false;
+  bool expect_errors = false;
+};
+
+constexpr GoldenCase kCases[] = {
+    {"health", "examples/specs/health.prop", "health", "", false, false},
+    {"health_mayfly", "examples/specs/health.mayfly", "health", "", true, false},
+    {"sensornet", "examples/specs/sensornet.prop", "", "examples/specs/sensornet.app", false,
+     false},
+    {"bad_dead_state", "examples/specs/bad/dead_state.prop", "health", "", false, true},
+    {"bad_unsat_guard", "examples/specs/bad/unsat_guard.prop", "health", "", false, true},
+    {"bad_overlap", "examples/specs/bad/overlap.prop", "health", "", false, true},
+};
+
+AppGraph GraphFor(const GoldenCase& c) {
+  if (c.app_file[0] != '\0') {
+    const auto parsed =
+        ParseAppDescription(ReadFileOrDie(std::string(ARTEMIS_SOURCE_DIR) + "/" + c.app_file));
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    return parsed.value().graph;
+  }
+  // All name-based cases use the health demo app.
+  return BuildHealthApp().graph;
+}
+
+void CheckGolden(const std::string& name, const std::string& extension,
+                 const std::string& actual) {
+  const std::string path =
+      std::string(ARTEMIS_SOURCE_DIR) + "/tests/golden/analysis/" + name + "." + extension;
+  if (std::getenv("UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  EXPECT_EQ(actual, ReadFileOrDie(path)) << "golden mismatch for " << path
+                                         << " (regenerate with UPDATE_GOLDEN=1)";
+}
+
+TEST(AnalysisGoldenTest, TextAndJsonOutputsMatchGoldens) {
+  for (const GoldenCase& c : kCases) {
+    SCOPED_TRACE(c.name);
+    const std::string source =
+        ReadFileOrDie(std::string(ARTEMIS_SOURCE_DIR) + "/" + c.spec);
+    const AppGraph graph = GraphFor(c);
+    const auto parsed = c.mayfly ? MayflyFrontend::Parse(source) : SpecParser::Parse(source);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    const ValidationResult validation = SpecValidator::Validate(parsed.value(), graph);
+    ASSERT_TRUE(validation.ok()) << validation.status.ToString();
+    const auto machines = LowerSpec(parsed.value(), graph, {});
+    ASSERT_TRUE(machines.ok()) << machines.status().ToString();
+
+    const DiagnosticEngine engine = AnalyzeMachines(machines.value(), graph);
+    EXPECT_EQ(engine.HasErrors(), c.expect_errors);
+    CheckGolden(c.name, "txt", engine.RenderText(c.spec));
+    CheckGolden(c.name, "json", engine.RenderJson());
+  }
+}
+
+}  // namespace
+}  // namespace artemis

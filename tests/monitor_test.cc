@@ -427,6 +427,40 @@ TEST(ArbitrationTest, EmptyMeansNoAction) {
   EXPECT_EQ(Arbitrate({}, ArbitrationPolicy::kSeverity).action, ActionType::kNone);
 }
 
+TEST(ArbitrationTest, EmptyMeansNoActionUnderEveryPolicy) {
+  for (const ArbitrationPolicy policy :
+       {ArbitrationPolicy::kSeverity, ArbitrationPolicy::kFirstWins,
+        ArbitrationPolicy::kLastWins}) {
+    const MonitorVerdict chosen = Arbitrate({}, policy);
+    EXPECT_EQ(chosen.action, ActionType::kNone) << ArbitrationPolicyName(policy);
+    EXPECT_TRUE(chosen.property.empty()) << ArbitrationPolicyName(policy);
+  }
+}
+
+TEST(ArbitrationTest, SingleVerdictWinsUnderEveryPolicy) {
+  const std::vector<MonitorVerdict> verdicts = {{ActionType::kRestartPath, 2, "only"}};
+  for (const ArbitrationPolicy policy :
+       {ArbitrationPolicy::kSeverity, ArbitrationPolicy::kFirstWins,
+        ArbitrationPolicy::kLastWins}) {
+    const MonitorVerdict chosen = Arbitrate(verdicts, policy);
+    EXPECT_EQ(chosen.action, ActionType::kRestartPath) << ArbitrationPolicyName(policy);
+    EXPECT_EQ(chosen.target_path, 2u) << ArbitrationPolicyName(policy);
+    EXPECT_EQ(chosen.property, "only") << ArbitrationPolicyName(policy);
+  }
+}
+
+TEST(ArbitrationTest, AllClearVerdictsStayClearUnderSeverity) {
+  // Monitors that ran but found nothing report kNone; severity arbitration
+  // must not surface any of them as a violation.
+  const std::vector<MonitorVerdict> verdicts = {
+      {ActionType::kNone, kNoPath, "a"},
+      {ActionType::kNone, kNoPath, "b"},
+  };
+  const MonitorVerdict chosen = Arbitrate(verdicts, ArbitrationPolicy::kSeverity);
+  EXPECT_EQ(chosen.action, ActionType::kNone);
+  EXPECT_FALSE(chosen.violated());
+}
+
 // ------------------------------------------------------------ MonitorSet --
 
 std::unique_ptr<Mcu> TestMcu(EnergyUj budget = 1e9) {

@@ -83,6 +83,72 @@ TEST(ArtemiscTest, CheckMayflyLangFrontend) {
   EXPECT_EQ(result.exit_code, 0) << result.output;
 }
 
+TEST(ArtemiscTest, UsageDocumentsExitCodes) {
+  const RunResult result = RunCli("");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("exit codes:"), std::string::npos);
+}
+
+// The collect-on-own-dependency spec lowers to two transitions that both
+// match end(send) with non-disjoint guards — the canonical ART005 fixture
+// (mirrors examples/specs/bad/overlap.prop).
+const char kOverlapSpec[] = "send: { collect: 2 dpTask: send onFail: restartPath; }\n";
+
+TEST(ArtemiscTest, CheckAnalyzeAcceptsCleanSpec) {
+  const std::string spec =
+      WriteTempSpec("an_ok.prop", "accel: { maxTries: 10 onFail: skipPath; }\n");
+  const RunResult result = RunCli("check " + spec + " --analyze");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("analyzer: 0 error(s)"), std::string::npos);
+}
+
+TEST(ArtemiscTest, CheckAnalyzeFlagsOverlappingTransitions) {
+  const std::string spec = WriteTempSpec("an_overlap.prop", kOverlapSpec);
+  const RunResult result = RunCli("check " + spec + " --analyze");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("ART005"), std::string::npos);
+}
+
+TEST(ArtemiscTest, CheckAnalyzeJsonEmitsDiagnosticsArray) {
+  const std::string spec = WriteTempSpec("an_json.prop", kOverlapSpec);
+  const RunResult result = RunCli("check " + spec + " --analyze --json");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("\"code\": \"ART005\""), std::string::npos);
+  EXPECT_NE(result.output.find("\"severity\": \"error\""), std::string::npos);
+}
+
+TEST(ArtemiscTest, CheckAnalyzeWerrorKeepsCleanSpecClean) {
+  const std::string spec =
+      WriteTempSpec("an_werror.prop", "accel: { maxTries: 10 onFail: skipPath; }\n");
+  const RunResult result = RunCli("check " + spec + " --analyze --Werror");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(ArtemiscTest, CodegenRefusesOnAnalyzerErrors) {
+  const std::string spec = WriteTempSpec("an_refuse.prop", kOverlapSpec);
+  const RunResult result = RunCli("codegen " + spec);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("refusing to emit C code"), std::string::npos);
+}
+
+TEST(ArtemiscTest, CodegenNoAnalyzeOverridesTheGate) {
+  const std::string spec = WriteTempSpec("an_override.prop", kOverlapSpec);
+  const RunResult result = RunCli("codegen " + spec + " --no-analyze");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("callMonitor"), std::string::npos);
+}
+
+TEST(ArtemiscTest, DotShadesDeadStatesAndFails) {
+  // micSense runs on path 3, so a machine scoped to path 2 can never see
+  // end(micSense): WaitStartA is dead and rendered gray.
+  const std::string spec = WriteTempSpec(
+      "an_dot.prop", "send: { MITD: 5min dpTask: micSense onFail: restartPath Path: 2; }\n");
+  const RunResult result = RunCli("dot " + spec);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("fillcolor=\"gray88\""), std::string::npos);
+  EXPECT_NE(result.output.find("digraph"), std::string::npos);
+}
+
 TEST(ArtemiscTest, PrettyRoundTrips) {
   const std::string spec = WriteTempSpec(
       "p.prop", "send: { MITD: 5min dpTask: accel onFail: restartPath Path: 2; }\n");

@@ -2,17 +2,23 @@
 // paper's Xtext/Eclipse workbench (Figure 3).
 //
 //   artemisc check    <spec-file> [--app health|greenhouse] [--mayfly-lang]
+//                     [--analyze] [--json] [--Werror] [--policy <p>]
 //   artemisc pretty   <spec-file>
-//   artemisc codegen  <spec-file> [--app ...] [--no-immortal]
-//   artemisc dot      <spec-file> [--app ...]
+//   artemisc codegen  <spec-file> [--app ...] [--no-immortal] [--no-analyze]
+//   artemisc dot      <spec-file> [--app ...] [--no-analyze]
 //   artemisc simulate [--app ...] [--spec <file>] [--system artemis|mayfly]
 //                     [--backend builtin|interpreted|compiled]
 //                     [--charge <duration>] [--budget <uJ>] [--trace]
 //
-// `check` runs parse -> validate -> consistency analysis; `codegen`/`dot`
-// run the full generator pipeline; `simulate` executes the chosen demo app
-// on the simulated platform. Spec files may use the native Figure 5 syntax
-// or, with --mayfly-lang, the Mayfly-style edge-annotation frontend.
+// `check` runs parse -> validate -> consistency analysis and, with
+// --analyze, the FSM IR static analyzer (src/analysis); `codegen`/`dot` run
+// the full generator pipeline with the analyzer in front (codegen refuses
+// to emit on error-severity findings, dot shades dead states/transitions).
+// `simulate` executes the chosen demo app on the simulated platform. Spec
+// files may use the native Figure 5 syntax or, with --mayfly-lang, the
+// Mayfly-style edge-annotation frontend.
+//
+// Exit codes: 0 = clean, 1 = findings / failures, 2 = usage or I/O error.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -22,7 +28,7 @@
 #include <string>
 #include <vector>
 
-#include "src/apps/ar_app.h"
+#include "src/analysis/analyzer.h"
 #include "src/apps/ar_app.h"
 #include "src/apps/greenhouse_app.h"
 #include "src/apps/health_app.h"
@@ -43,18 +49,29 @@
 namespace artemis {
 namespace {
 
+// Exit codes, also part of the CLI contract for CI scripts (tools/ci.sh):
+// kExitClean when no error-severity findings, kExitFindings when the spec
+// has errors (parse, validation, or analyzer), kExitUsage for bad
+// invocations and unreadable files.
+constexpr int kExitClean = 0;
+constexpr int kExitFindings = 1;
+constexpr int kExitUsage = 2;
+
 int Usage() {
   std::fprintf(stderr,
                "usage: artemisc <check|pretty|codegen|dot|simulate> [args]\n"
                "  check    <spec> [--app health|greenhouse] [--mayfly-lang]\n"
+               "           [--analyze] [--json] [--Werror]\n"
+               "           [--policy severity|first-wins|last-wins]\n"
                "  pretty   <spec>\n"
-               "  codegen  <spec> [--app ...] [--no-immortal]\n"
-               "  dot      <spec> [--app ...]\n"
+               "  codegen  <spec> [--app ...] [--no-immortal] [--no-analyze]\n"
+               "  dot      <spec> [--app ...] [--no-analyze]\n"
                "  simulate [--app ...] [--spec <file>] [--system artemis|mayfly]\n"
                "           [--backend builtin|interpreted|compiled]\n"
                "           [--charge <duration>] [--budget <uJ>] [--trace]\n"
-               "  profile  [--app ...] [--backend builtin|interpreted|compiled]\n");
-  return 2;
+               "  profile  [--app ...] [--backend builtin|interpreted|compiled]\n"
+               "exit codes: 0 = clean, 1 = findings or failures, 2 = usage/IO error\n");
+  return kExitUsage;
 }
 
 std::optional<std::string> ReadFile(const std::string& path) {
@@ -77,6 +94,11 @@ struct Args {
   bool mayfly_lang = false;
   bool immortal = true;
   bool trace = false;
+  bool analyze = false;     // check: run the FSM IR static analyzer
+  bool no_analyze = false;  // codegen/dot: skip the analyzer gate
+  bool json = false;        // check --analyze: machine-readable diagnostics
+  bool werror = false;      // promote analyzer warnings to errors
+  ArbitrationPolicy policy = ArbitrationPolicy::kSeverity;
   SimDuration charge = 0;
   EnergyUj budget = 19'500.0;
 };
@@ -153,6 +175,30 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         return false;
       }
       args->budget = std::atof(value);
+    } else if (flag == "--policy") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      if (std::strcmp(value, "severity") == 0) {
+        args->policy = ArbitrationPolicy::kSeverity;
+      } else if (std::strcmp(value, "first-wins") == 0) {
+        args->policy = ArbitrationPolicy::kFirstWins;
+      } else if (std::strcmp(value, "last-wins") == 0) {
+        args->policy = ArbitrationPolicy::kLastWins;
+      } else {
+        std::fprintf(stderr, "artemisc: unknown policy '%s' (severity|first-wins|last-wins)\n",
+                     value);
+        return false;
+      }
+    } else if (flag == "--analyze") {
+      args->analyze = true;
+    } else if (flag == "--no-analyze") {
+      args->no_analyze = true;
+    } else if (flag == "--json") {
+      args->json = true;
+    } else if (flag == "--Werror") {
+      args->werror = true;
     } else if (flag == "--mayfly-lang") {
       args->mayfly_lang = true;
     } else if (flag == "--no-immortal") {
@@ -222,82 +268,126 @@ StatusOr<SpecAst> ParseSpec(const Args& args, const std::string& source) {
 int RunCheck(const Args& args, const std::string& source) {
   auto app = MakeApp(args);
   if (!app.has_value()) {
-    return 2;
+    return kExitUsage;
   }
   auto parsed = ParseSpec(args, source);
   if (!parsed.ok()) {
     std::fprintf(stderr, "parse error: %s\n", parsed.status().ToString().c_str());
-    return 1;
+    return kExitFindings;
   }
   const ValidationResult validation = SpecValidator::Validate(parsed.value(), app->graph);
   if (!validation.ok()) {
     std::fprintf(stderr, "validation error: %s\n", validation.status.ToString().c_str());
-    return 1;
+    return kExitFindings;
   }
+  // With --json, stdout carries only the diagnostics array; the human
+  // summary moves to stderr.
+  FILE* chatter = args.json ? stderr : stdout;
   for (const std::string& warning : validation.warnings) {
-    std::printf("warning: %s\n", warning.c_str());
+    std::fprintf(chatter, "warning: %s\n", warning.c_str());
   }
   int hard_findings = 0;
   for (const ConsistencyFinding& finding :
        ConsistencyChecker::Analyze(parsed.value(), app->graph)) {
-    std::printf("%s: %s: %s\n", ConsistencySeverityName(finding.severity),
-                finding.property.c_str(), finding.message.c_str());
+    std::fprintf(chatter, "%s: %s: %s\n", ConsistencySeverityName(finding.severity),
+                 finding.property.c_str(), finding.message.c_str());
     hard_findings += finding.severity != ConsistencySeverity::kRisky ? 1 : 0;
   }
   // Static energy feasibility against the device budget (--budget, uJ).
   for (const EnergyFeasibilityFinding& finding :
        AnalyzeEnergyFeasibility(app->graph, args.budget)) {
     if (!finding.feasible) {
-      std::printf("ENERGY: task '%s' needs %.1f uJ per attempt but one on-period "
-                  "delivers %.1f uJ; it can never complete (runtime signature: "
-                  "maxTries exhaustion)\n",
-                  finding.task_name.c_str(), finding.per_attempt, finding.budget);
+      std::fprintf(chatter,
+                   "ENERGY: task '%s' needs %.1f uJ per attempt but one on-period "
+                   "delivers %.1f uJ; it can never complete (runtime signature: "
+                   "maxTries exhaustion)\n",
+                   finding.task_name.c_str(), finding.per_attempt, finding.budget);
       ++hard_findings;
     }
   }
-  std::printf("%zu properties across %zu task blocks: %s\n", parsed.value().PropertyCount(),
-              parsed.value().blocks.size(), hard_findings == 0 ? "OK" : "INCONSISTENT");
-  return hard_findings == 0 ? 0 : 1;
+  if (args.analyze) {
+    auto machines = LowerSpec(parsed.value(), app->graph, {});
+    if (!machines.ok()) {
+      std::fprintf(stderr, "lowering error: %s\n", machines.status().ToString().c_str());
+      return kExitFindings;
+    }
+    AnalysisOptions options;
+    options.policy = args.policy;
+    options.werror = args.werror;
+    const DiagnosticEngine engine = AnalyzeMachines(machines.value(), app->graph, options);
+    if (args.json) {
+      std::printf("%s", engine.RenderJson().c_str());
+    } else {
+      std::printf("%s", engine.RenderText(args.spec_path).c_str());
+    }
+    std::fprintf(chatter, "analyzer: %zu error(s), %zu warning(s) across %zu machine(s)\n",
+                 engine.ErrorCount(), engine.WarningCount(), machines.value().size());
+    hard_findings += static_cast<int>(engine.ErrorCount());
+  }
+  std::fprintf(chatter, "%zu properties across %zu task blocks: %s\n",
+               parsed.value().PropertyCount(), parsed.value().blocks.size(),
+               hard_findings == 0 ? "OK" : "INCONSISTENT");
+  return hard_findings == 0 ? kExitClean : kExitFindings;
 }
 
 int RunPretty(const Args& args, const std::string& source) {
   auto parsed = ParseSpec(args, source);
   if (!parsed.ok()) {
     std::fprintf(stderr, "parse error: %s\n", parsed.status().ToString().c_str());
-    return 1;
+    return kExitFindings;
   }
   std::printf("%s", parsed.value().Pretty().c_str());
-  return 0;
+  return kExitClean;
 }
 
 int RunCodegen(const Args& args, const std::string& source, bool dot) {
   auto app = MakeApp(args);
   if (!app.has_value()) {
-    return 2;
+    return kExitUsage;
   }
   auto parsed = ParseSpec(args, source);
   if (!parsed.ok()) {
     std::fprintf(stderr, "parse error: %s\n", parsed.status().ToString().c_str());
-    return 1;
+    return kExitFindings;
   }
   const ValidationResult validation = SpecValidator::Validate(parsed.value(), app->graph);
   if (!validation.ok()) {
     std::fprintf(stderr, "validation error: %s\n", validation.status.ToString().c_str());
-    return 1;
+    return kExitFindings;
   }
   auto machines = LowerSpec(parsed.value(), app->graph, {});
   if (!machines.ok()) {
     std::fprintf(stderr, "lowering error: %s\n", machines.status().ToString().c_str());
-    return 1;
+    return kExitFindings;
+  }
+  // The analyzer gates code generation: diagnostics go to stderr, and
+  // error-severity findings block C emission (override with --no-analyze).
+  // The DOT backend still emits, shading dead states/transitions gray.
+  bool analyzer_errors = false;
+  DotAnnotations annotations;
+  if (!args.no_analyze) {
+    AnalysisOptions options;
+    options.policy = args.policy;
+    options.werror = args.werror;
+    const DiagnosticEngine engine = AnalyzeMachines(machines.value(), app->graph, options);
+    std::fprintf(stderr, "%s", engine.RenderText(args.spec_path).c_str());
+    analyzer_errors = engine.HasErrors();
+    annotations = AnnotationsFromDiagnostics(engine.diagnostics());
   }
   if (dot) {
-    std::printf("%s", MachinesToDot(machines.value(), app->graph).c_str());
-  } else {
-    CodegenOptions options;
-    options.immortal_macros = args.immortal;
-    std::printf("%s", CCodeGenerator(options).Generate(machines.value(), app->graph).c_str());
+    std::printf("%s", MachinesToDot(machines.value(), app->graph, &annotations).c_str());
+    return analyzer_errors ? kExitFindings : kExitClean;
   }
-  return 0;
+  if (analyzer_errors) {
+    std::fprintf(stderr,
+                 "artemisc: refusing to emit C code: the analyzer reported errors "
+                 "(use --no-analyze to override)\n");
+    return kExitFindings;
+  }
+  CodegenOptions options;
+  options.immortal_macros = args.immortal;
+  std::printf("%s", CCodeGenerator(options).Generate(machines.value(), app->graph).c_str());
+  return kExitClean;
 }
 
 // Per-task energy/time profile on continuous power — the Section 5.1
@@ -432,7 +522,7 @@ int Main(int argc, char** argv) {
   const std::optional<std::string> source = ReadFile(args.spec_path);
   if (!source.has_value()) {
     std::fprintf(stderr, "artemisc: cannot read '%s'\n", args.spec_path.c_str());
-    return 2;
+    return kExitUsage;
   }
   if (args.command == "check") {
     return RunCheck(args, *source);

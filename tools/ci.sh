@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Full CI pipeline:
+#   1. Release build + tier-1 ctest suite.
+#   2. Sanitize build (ASan + UBSan) + tier-1 ctest suite, via
+#      tools/run_sanitized_tests.sh.
+#   3. Static analysis gate: `artemisc check --analyze --json` must come out
+#      clean (exit 0) for every shipped example spec, and must FAIL (exit 1)
+#      for every fixture under examples/specs/bad/.
+#
+# Usage: tools/ci.sh [release-build-dir [sanitize-build-dir]]
+#        (defaults: build-ci, build-sanitize)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+release_dir="${1:-${repo_root}/build-ci}"
+sanitize_dir="${2:-${repo_root}/build-sanitize}"
+
+echo "== [1/3] Release build + tests =="
+cmake -B "${release_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${release_dir}" -j "$(nproc)"
+ctest --test-dir "${release_dir}" --output-on-failure
+
+echo "== [2/3] Sanitized build + tests =="
+"${repo_root}/tools/run_sanitized_tests.sh" "${sanitize_dir}"
+
+echo "== [3/3] Static analysis over example specs =="
+artemisc="${release_dir}/tools/artemisc"
+
+check_clean() {
+  local label="$1"
+  shift
+  if ! "${artemisc}" check "$@" --analyze --json > /dev/null; then
+    echo "CI FAIL: ${label} should analyze clean" >&2
+    exit 1
+  fi
+  echo "ok: ${label} analyzes clean"
+}
+
+check_dirty() {
+  local label="$1" expect_code="$2"
+  shift 2
+  local out rc=0
+  out="$("${artemisc}" check "$@" --analyze --json 2> /dev/null)" || rc=$?
+  if [[ "${rc}" -ne 1 ]]; then
+    echo "CI FAIL: ${label} should exit 1 (got ${rc})" >&2
+    exit 1
+  fi
+  if ! grep -q "\"code\": \"${expect_code}\"" <<< "${out}"; then
+    echo "CI FAIL: ${label} should report ${expect_code}" >&2
+    exit 1
+  fi
+  echo "ok: ${label} reports ${expect_code} and fails"
+}
+
+specs="${repo_root}/examples/specs"
+check_clean "health.prop" "${specs}/health.prop" --app health
+check_clean "health.mayfly" "${specs}/health.mayfly" --app health --mayfly-lang
+check_clean "sensornet.prop" "${specs}/sensornet.prop" --app-file "${specs}/sensornet.app"
+check_dirty "bad/dead_state.prop" ART001 "${specs}/bad/dead_state.prop" --app health
+check_dirty "bad/unsat_guard.prop" ART003 "${specs}/bad/unsat_guard.prop" --app health
+check_dirty "bad/overlap.prop" ART005 "${specs}/bad/overlap.prop" --app health
+
+echo "CI: all stages passed"
