@@ -13,6 +13,7 @@
 #include "src/core/stats.h"
 #include "src/kernel/kernel.h"
 #include "src/mayfly/mayfly.h"
+#include "src/obs/bus.h"
 #include "src/spec/parser.h"
 
 namespace artemis::bench {
@@ -34,15 +35,20 @@ struct RunOutput {
   std::string label;
 };
 
-// Runs the health app under ARTEMIS on the given power model.
+// Runs the health app under ARTEMIS on the given power model. When
+// `observer` is set, the sim/kernel/monitor layers publish into it
+// (src/obs) — fig13/fig16 consume the exported event stream instead of the
+// kernel-local ExecutionTrace.
 inline RunOutput RunArtemis(std::unique_ptr<Mcu> mcu, SimDuration max_wall,
                             const std::string& spec_text = HealthAppSpec(),
-                            MonitorBackend backend = MonitorBackend::kBuiltin) {
+                            MonitorBackend backend = MonitorBackend::kBuiltin,
+                            obs::EventBus* observer = nullptr) {
   HealthApp app = BuildHealthApp();
   ArtemisConfig config;
   config.backend = backend;
   config.kernel.max_wall_time = max_wall;
   config.kernel.record_trace = false;
+  config.observer = observer;
   auto runtime = ArtemisRuntime::Create(&app.graph, spec_text, mcu.get(), config);
   if (!runtime.ok()) {
     std::fprintf(stderr, "ARTEMIS setup failed: %s\n", runtime.status().ToString().c_str());
@@ -53,7 +59,8 @@ inline RunOutput RunArtemis(std::unique_ptr<Mcu> mcu, SimDuration max_wall,
 
 // Runs the health app under the Mayfly baseline (MITD/collect subset, no
 // maxAttempt) on the given power model.
-inline RunOutput RunMayfly(std::unique_ptr<Mcu> mcu, SimDuration max_wall) {
+inline RunOutput RunMayfly(std::unique_ptr<Mcu> mcu, SimDuration max_wall,
+                           obs::EventBus* observer = nullptr) {
   HealthApp app = BuildHealthApp();
   auto parsed = SpecParser::Parse(HealthAppSpec());
   if (!parsed.ok()) {
@@ -63,6 +70,10 @@ inline RunOutput RunMayfly(std::unique_ptr<Mcu> mcu, SimDuration max_wall) {
   KernelOptions options;
   options.max_wall_time = max_wall;
   options.record_trace = false;
+  options.observer = observer;
+  if (observer != nullptr) {
+    mcu->set_observer(observer);
+  }
   auto runtime = MayflyRuntime::Create(&app.graph, parsed.value(), mcu.get(), options);
   if (!runtime.ok()) {
     std::fprintf(stderr, "Mayfly setup failed: %s\n", runtime.status().ToString().c_str());

@@ -2,9 +2,15 @@
 // construct. Reproduces the paper's annotated timeline: three attempts to
 // complete path #2 (each ending in an MITD violation at `send`), then the
 // path skip that lets the application finish through path #3.
+//
+// The timeline is read from the cross-layer observability bus (src/obs)
+// rather than the kernel-local ExecutionTrace — the same event stream
+// `artemisc trace` exports, so this printout and a Perfetto view of the
+// run agree by construction (docs/tracing.md).
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "src/obs/bus.h"
 
 using namespace artemis;
 using namespace artemis::bench;
@@ -12,40 +18,29 @@ using namespace artemis::bench;
 int main() {
   std::printf("=== Figure 13: maxAttempt execution timeline (6 min charging) ===\n\n");
 
-  HealthApp app = BuildHealthApp();
-  ArtemisConfig config;
-  config.kernel.max_wall_time = 8 * kHour;
-  config.kernel.record_trace = true;
-  auto mcu = PlatformBuilder().WithFixedCharge(kOnBudgetUj, ChargeTime(6)).Build();
-  auto runtime = ArtemisRuntime::Create(&app.graph, HealthAppSpec(), mcu.get(), config);
-  if (!runtime.ok()) {
-    std::fprintf(stderr, "setup failed: %s\n", runtime.status().ToString().c_str());
-    return 1;
-  }
-  const KernelRunResult result = runtime.value()->Run();
+  obs::EventBus bus;
+  obs::CollectingSink sink;
+  bus.AddSink(&sink);
+  auto run = RunArtemis(PlatformBuilder().WithFixedCharge(kOnBudgetUj, ChargeTime(6)).Build(),
+                        8 * kHour, HealthAppSpec(), MonitorBackend::kBuiltin, &bus);
 
-  // Print the path-#2 portion of the trace: attempts, violations, the skip.
-  const ExecutionTrace& trace = runtime.value()->kernel().trace();
-  std::vector<std::string> names;
-  for (TaskId t = 0; t < app.graph.task_count(); ++t) {
-    names.push_back(app.graph.TaskName(t));
-  }
+  // Print the path-#2 portion of the stream: attempts, violations, the skip.
   int attempt = 0;
-  for (const TraceRecord& r : trace.records()) {
-    if (r.kind == TraceKind::kViolation && r.detail.find("MITD") != std::string::npos) {
+  for (const obs::Event& e : sink.events()) {
+    if (e.kind == obs::Kind::kViolation && e.detail.find("MITD") != std::string::npos) {
       ++attempt;
-      std::printf("attempt #%d  %s  %s -> %s\n", attempt, FormatTimestamp(r.time).c_str(),
-                  r.detail.c_str(), ActionTypeName(r.action));
+      std::printf("attempt #%d  %s  %s -> %s\n", attempt, FormatTimestamp(e.time).c_str(),
+                  e.detail.c_str(), e.action.c_str());
     }
-    if (r.kind == TraceKind::kPathSkip) {
+    if (e.kind == obs::Kind::kPathSkip) {
       std::printf("           %s  path #%u skipped; execution proceeds\n",
-                  FormatTimestamp(r.time).c_str(), r.path);
+                  FormatTimestamp(e.time).c_str(), e.path);
     }
-    if (r.kind == TraceKind::kAppComplete) {
-      std::printf("           %s  application complete\n", FormatTimestamp(r.time).c_str());
+    if (e.kind == obs::Kind::kAppComplete) {
+      std::printf("           %s  application complete\n", FormatTimestamp(e.time).c_str());
     }
   }
   std::printf("\ncompleted=%s  MITD violations=%d (expect 3: 2 restarts + 1 skip)\n",
-              result.completed ? "yes" : "no", attempt);
-  return result.completed && attempt == 3 ? 0 : 1;
+              run.result.completed ? "yes" : "no", attempt);
+  return run.result.completed && attempt == 3 ? 0 : 1;
 }

@@ -1,0 +1,65 @@
+#include "src/core/obs_stats.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace artemis {
+
+void ObsStatsAggregator::ClosePath(double energy_now) {
+  if (open_path_ == obs::kObsNoPath) {
+    return;
+  }
+  ++completed_paths_;
+  if (open_path_energy_ >= 0.0 && energy_now >= open_path_energy_) {
+    path_energy_uj_.Record(energy_now - open_path_energy_);
+  }
+  open_path_ = obs::kObsNoPath;
+  open_path_energy_ = -1.0;
+}
+
+void ObsStatsAggregator::OnEvent(const obs::Event& event) {
+  ++counts_[static_cast<int>(event.kind)];
+  ++total_;
+  switch (event.kind) {
+    case obs::Kind::kPathStart:
+      if (event.path != open_path_) {
+        ClosePath(event.energy_uj);
+        open_path_ = event.path;
+        open_path_energy_ = event.energy_uj;
+      }
+      break;
+    case obs::Kind::kAppComplete:
+      ClosePath(event.energy_uj);
+      break;
+    case obs::Kind::kCommit:
+      committed_bytes_ += static_cast<std::uint64_t>(event.value);
+      break;
+    case obs::Kind::kMonitorVerdict:
+      verdict_cost_us_.Record(static_cast<double>(event.duration));
+      if (!event.action.empty()) {
+        violation_latency_us_.Record(static_cast<double>(event.duration));
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+std::string ObsStatsAggregator::Render() const {
+  std::ostringstream out;
+  out << "events: total=" << total_ << "\n";
+  for (int i = 0; i < obs::kNumKinds; ++i) {
+    if (counts_[i] != 0) {
+      out << "  " << obs::KindName(static_cast<obs::Kind>(i)) << ": " << counts_[i] << "\n";
+    }
+  }
+  out << "paths: completed=" << completed_paths_ << " energy_uj[" << path_energy_uj_.Summary()
+      << "]\n";
+  out << "commits: n=" << CountFor(obs::Kind::kCommit) << " bytes=" << committed_bytes_ << "\n";
+  out << "verdicts: cost_us[" << verdict_cost_us_.Summary() << "]\n";
+  out << "violations: n=" << CountFor(obs::Kind::kViolation) << " latency_us["
+      << violation_latency_us_.Summary() << "]\n";
+  return out.str();
+}
+
+}  // namespace artemis

@@ -1,0 +1,64 @@
+// ObsStatsAggregator: the in-process statistics sink for the cross-layer
+// observability bus (src/obs/bus.h). Where the JSONL and Perfetto sinks
+// stream every event out, this one folds the stream into counters and
+// histograms that benches and `artemisc trace --format stats` print:
+//  * event counts by kind (and total);
+//  * checkpoint commits and cumulative committed bytes;
+//  * per-event monitor cycle cost (from kMonitorVerdict durations) and the
+//    latency of violating verdicts specifically;
+//  * energy per completed path, attributed from the cumulative-energy
+//    samples the kernel stamps on kPathStart / kAppComplete events.
+//
+// Lives in src/core (not src/obs) because it builds on core/stats'
+// Histogram: core may depend on obs, never the reverse.
+#ifndef SRC_CORE_OBS_STATS_H_
+#define SRC_CORE_OBS_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/core/stats.h"
+#include "src/obs/bus.h"
+
+namespace artemis {
+
+class ObsStatsAggregator : public obs::Sink {
+ public:
+  void OnEvent(const obs::Event& event) override;
+
+  std::uint64_t CountFor(obs::Kind kind) const {
+    return counts_[static_cast<int>(kind)];
+  }
+  std::uint64_t total_events() const { return total_; }
+  std::uint64_t completed_paths() const { return completed_paths_; }
+  std::uint64_t committed_bytes() const { return committed_bytes_; }
+  const Histogram& path_energy_uj() const { return path_energy_uj_; }
+  const Histogram& verdict_cost_us() const { return verdict_cost_us_; }
+  const Histogram& violation_latency_us() const { return violation_latency_us_; }
+
+  // Deterministic multi-line report: event counts in schema order (zero
+  // counts omitted) followed by the derived aggregate lines.
+  std::string Render() const;
+
+ private:
+  // A path is "completed" when the kernel moves on to a different path (or
+  // the app completes) without that path being the one restarting.
+  void ClosePath(double energy_now);
+
+  std::array<std::uint64_t, obs::kNumKinds> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t committed_bytes_ = 0;
+  std::uint64_t completed_paths_ = 0;
+
+  std::uint32_t open_path_ = obs::kObsNoPath;
+  double open_path_energy_ = -1.0;  // cumulative uJ at path start, <0 = unknown
+
+  Histogram path_energy_uj_;
+  Histogram verdict_cost_us_;      // per-event monitor cycle cost (us @ 1 MHz)
+  Histogram violation_latency_us_;  // same metric, violating verdicts only
+};
+
+}  // namespace artemis
+
+#endif  // SRC_CORE_OBS_STATS_H_

@@ -14,7 +14,13 @@ ArtemisRuntime::ArtemisRuntime(const AppGraph* graph, SpecAst spec, Mcu* mcu,
       mcu_(mcu),
       monitors_(std::move(monitors)),
       warnings_(std::move(warnings)) {
-  kernel_ = std::make_unique<IntermittentKernel>(graph_, monitors_.get(), mcu_, config.kernel);
+  KernelOptions kernel_options = config.kernel;
+  if (config.observer != nullptr) {
+    kernel_options.observer = config.observer;
+    monitors_->set_observer(config.observer);
+    mcu_->set_observer(config.observer);
+  }
+  kernel_ = std::make_unique<IntermittentKernel>(graph_, monitors_.get(), mcu_, kernel_options);
 }
 
 StatusOr<std::unique_ptr<ArtemisRuntime>> ArtemisRuntime::Create(const AppGraph* graph,

@@ -15,6 +15,7 @@
 #include "src/kernel/app_graph.h"
 #include "src/kernel/kernel.h"
 #include "src/monitor/monitor_set.h"
+#include "src/obs/bus.h"
 #include "src/sim/mcu.h"
 
 namespace artemis {
@@ -29,6 +30,10 @@ struct ArtemisConfig {
   KernelOptions kernel;
   // Reject specs with validation warnings (strict mode for CI-style use).
   bool warnings_are_errors = false;
+  // Cross-layer observability bus (src/obs): when set, the MCU, kernel, and
+  // monitor set all publish into it (docs/tracing.md). Equivalent to setting
+  // kernel.observer plus MonitorSet/Mcu::set_observer by hand.
+  obs::EventBus* observer = nullptr;
 };
 
 class ArtemisRuntime {

@@ -40,6 +40,32 @@ std::string FormatMemoryTable(const std::vector<MemoryRow>& rows) {
   return out.str();
 }
 
+void Histogram::Record(double sample) {
+  if (count_ == 0 || sample < min_) {
+    min_ = sample;
+  }
+  if (count_ == 0 || sample > max_) {
+    max_ = sample;
+  }
+  sum_ += sample;
+  ++count_;
+  int bucket = 0;
+  if (sample >= 1.0) {
+    bucket = 1;
+    while (bucket < kBuckets - 1 && sample >= static_cast<double>(1ULL << bucket)) {
+      ++bucket;
+    }
+  }
+  ++buckets_[bucket];
+}
+
+std::string Histogram::Summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "n=%llu min=%.1f mean=%.1f max=%.1f",
+                static_cast<unsigned long long>(count_), min(), mean(), max());
+  return buf;
+}
+
 std::string FormatEnergy(EnergyUj energy) {
   char buf[48];
   if (energy >= 1e6) {

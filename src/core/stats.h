@@ -4,6 +4,8 @@
 #ifndef SRC_CORE_STATS_H_
 #define SRC_CORE_STATS_H_
 
+#include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -41,6 +43,35 @@ std::string FormatMemoryTable(const std::vector<MemoryRow>& rows);
 
 // Energy rendering helper: microjoules to a millijoule string.
 std::string FormatEnergy(EnergyUj energy);
+
+// Scalar distribution tracker used by the observability aggregator
+// (src/core/obs_stats.h): exact count/min/mean/max plus power-of-two
+// buckets (bucket 0 holds samples < 1, bucket i holds [2^(i-1), 2^i)).
+// Negative samples are clamped into bucket 0 but still count toward the
+// min/mean/max moments.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  void Record(double sample);
+
+  std::uint64_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+  // Deterministic one-line rendering: "n=4 min=1.0 mean=2.5 max=6.0".
+  std::string Summary() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
 
 }  // namespace artemis
 

@@ -49,17 +49,56 @@ TaskId IntermittentKernel::current_task() const {
 
 void IntermittentKernel::Trace(TraceKind kind, TaskId task, ActionType action,
                                const std::string& detail) {
-  if (!options_.record_trace) {
+  if (options_.record_trace) {
+    trace_.Record(TraceRecord{.kind = kind,
+                              .time = mcu_->Now(),
+                              .true_time = mcu_->TrueNow(),
+                              .task = task,
+                              .path = static_cast<PathId>(path_idx_ + 1),
+                              .attempt = cur_attempts_,
+                              .action = action,
+                              .detail = detail});
+  }
+  if (options_.observer != nullptr) {
+    obs::Event event{.kind = ToObsKind(kind),
+                     .time = mcu_->Now(),
+                     .true_time = mcu_->TrueNow(),
+                     .task = task,
+                     .path = static_cast<PathId>(path_idx_ + 1),
+                     .attempt = cur_attempts_,
+                     .seq = event_seq_,
+                     .energy_uj = mcu_->stats().TotalEnergy(),
+                     .energy_fraction = mcu_->power_model().StoredEnergyFraction(),
+                     .detail = detail};
+    if (action != ActionType::kNone) {
+      event.action = ActionTypeName(action);
+    }
+    // Task end/abort events carry the task's cumulative execution profile
+    // so sinks can attribute per-task time/energy without a second source.
+    if ((kind == TraceKind::kTaskEnd || kind == TraceKind::kTaskAborted) &&
+        task != kInvalidTask) {
+      event.duration = profiles_[task].busy_time;
+      event.value = profiles_[task].energy;
+    }
+    options_.observer->Publish(event);
+  }
+}
+
+void IntermittentKernel::PublishCommit(TaskId task, std::size_t bytes) {
+  if (options_.observer == nullptr) {
     return;
   }
-  trace_.Record(TraceRecord{.kind = kind,
-                            .time = mcu_->Now(),
-                            .true_time = mcu_->TrueNow(),
-                            .task = task,
-                            .path = static_cast<PathId>(path_idx_ + 1),
-                            .attempt = cur_attempts_,
-                            .action = action,
-                            .detail = detail});
+  options_.observer->Publish(
+      obs::Event{.kind = obs::Kind::kCommit,
+                 .time = mcu_->Now(),
+                 .true_time = mcu_->TrueNow(),
+                 .task = task,
+                 .path = static_cast<PathId>(path_idx_ + 1),
+                 .attempt = cur_attempts_,
+                 .seq = event_seq_,
+                 .value = static_cast<double>(bytes),
+                 .energy_uj = mcu_->stats().TotalEnergy(),
+                 .energy_fraction = mcu_->power_model().StoredEnergyFraction()});
 }
 
 KernelRunResult IntermittentKernel::Run() {
@@ -240,6 +279,7 @@ ExecStatus IntermittentKernel::CommitTask(TaskId task, TaskContext& ctx) {
   channels_.RecordCompletion(task, cur_finish_ts_);
   ++profiles_[task].commits;
   cur_status_ = TaskStatus::kFinished;
+  PublishCommit(task, bytes);
   return ExecStatus::kOk;
 }
 
@@ -357,7 +397,9 @@ void IntermittentKernel::AdvanceTask() {
   // Path complete.
   if (unmonitored_) {
     unmonitored_ = false;
-    Trace(TraceKind::kPathCompleteUnmonitored, kInvalidTask);
+    // Record the path's final task (task_idx_ still points at it) so the
+    // trace renders which task closed the unmonitored tail.
+    Trace(TraceKind::kPathCompleteUnmonitored, path.empty() ? kInvalidTask : path[task_idx_]);
     // Monitors tied to the silently completed path restart from scratch.
     checker_->OnPathRestart(path_id, *mcu_);
   }

@@ -29,6 +29,7 @@
 #include "src/kernel/channel.h"
 #include "src/kernel/checker.h"
 #include "src/kernel/trace.h"
+#include "src/obs/bus.h"
 #include "src/sim/mcu.h"
 
 namespace artemis {
@@ -48,6 +49,10 @@ struct KernelOptions {
   // Idle (harvest-only) time inserted between iterations, modelling the
   // duty-cycled sleep between sampling rounds.
   SimDuration inter_iteration_gap = 0;
+  // Cross-layer observability bus (src/obs): when set, the kernel publishes
+  // task/path lifecycle and checkpoint-commit events, independent of
+  // record_trace. nullptr = publishing off (a single null check per site).
+  obs::EventBus* observer = nullptr;
 };
 
 // Per-task execution profile (the Section 5.1 measurement that identifies
@@ -117,6 +122,7 @@ class IntermittentKernel {
 
   void Trace(TraceKind kind, TaskId task, ActionType action = ActionType::kNone,
              const std::string& detail = "");
+  void PublishCommit(TaskId task, std::size_t bytes);
 
   const AppGraph* graph_;
   PropertyChecker* checker_;

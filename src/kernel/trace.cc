@@ -36,6 +36,36 @@ const char* TraceKindName(TraceKind kind) {
   return "?";
 }
 
+obs::Kind ToObsKind(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kBoot:
+      return obs::Kind::kKernelBoot;
+    case TraceKind::kTaskStart:
+      return obs::Kind::kTaskStart;
+    case TraceKind::kTaskEnd:
+      return obs::Kind::kTaskEnd;
+    case TraceKind::kTaskAborted:
+      return obs::Kind::kTaskAborted;
+    case TraceKind::kViolation:
+      return obs::Kind::kViolation;
+    case TraceKind::kActionApplied:
+      return obs::Kind::kActionApplied;
+    case TraceKind::kPathStart:
+      return obs::Kind::kPathStart;
+    case TraceKind::kPathRestart:
+      return obs::Kind::kPathRestart;
+    case TraceKind::kPathSkip:
+      return obs::Kind::kPathSkip;
+    case TraceKind::kPathCompleteUnmonitored:
+      return obs::Kind::kPathCompleteUnmonitored;
+    case TraceKind::kTaskSkipped:
+      return obs::Kind::kTaskSkipped;
+    case TraceKind::kAppComplete:
+      return obs::Kind::kAppComplete;
+  }
+  return obs::Kind::kKernelBoot;
+}
+
 std::size_t ExecutionTrace::Count(TraceKind kind) const {
   std::size_t n = 0;
   for (const TraceRecord& r : records_) {

@@ -10,6 +10,7 @@
 #include "src/base/time.h"
 #include "src/kernel/checker.h"
 #include "src/kernel/task.h"
+#include "src/obs/event.h"
 
 namespace artemis {
 
@@ -29,6 +30,11 @@ enum class TraceKind : std::uint8_t {
 };
 
 const char* TraceKindName(TraceKind kind);
+
+// Maps a kernel trace kind onto the cross-layer observability event kind
+// (src/obs/event.h), so bus subscribers and the in-memory trace agree on
+// naming. Every TraceKind has a mapping; obs_test asserts the round-trip.
+obs::Kind ToObsKind(TraceKind kind);
 
 struct TraceRecord {
   TraceKind kind;

@@ -80,6 +80,14 @@ void MonitorSet::Finalize(Mcu& mcu) {
 
 CheckOutcome MonitorSet::OnEvent(const MonitorEvent& event, Mcu& mcu) {
   CheckOutcome outcome;
+  // Per-event cycle cost for observability: everything the set accrues from
+  // the interface crossing to the verdict (monitor bucket, or runtime bucket
+  // when inlined). Published with the verdict event.
+  const auto busy_now = [&mcu]() {
+    return mcu.stats().busy_time[static_cast<int>(CostTag::kMonitor)] +
+           mcu.stats().busy_time[static_cast<int>(CostTag::kRuntime)];
+  };
+  const SimDuration busy_before = obs_ != nullptr ? busy_now() : 0;
   // Interface-crossing cost depends on where the monitors live: inlined
   // checks pay nothing; remote monitors pay the radio round-trip; the
   // separate component pays the callMonitor call.
@@ -107,6 +115,20 @@ CheckOutcome MonitorSet::OnEvent(const MonitorEvent& event, Mcu& mcu) {
   if (has_cached_verdict_ && event.seq == done_seq_) {
     outcome.verdict = cached_verdict_;
     return outcome;
+  }
+
+  if (obs_ != nullptr) {
+    // The event has crossed into the monitor component; value = the resume
+    // cursor (non-zero when completing an interrupted delivery).
+    obs_->Publish(obs::Event{.kind = obs::Kind::kMonitorDelivery,
+                             .time = mcu.Now(),
+                             .true_time = mcu.TrueNow(),
+                             .task = event.task,
+                             .path = event.path,
+                             .seq = event.seq,
+                             .value = static_cast<double>(continuation_.InProgress() ? 1 : 0),
+                             .energy_fraction = event.energy_fraction,
+                             .detail = EventKindName(event.kind)});
   }
 
   const std::uint32_t first = continuation_.Begin(event.seq);
@@ -140,6 +162,24 @@ CheckOutcome MonitorSet::OnEvent(const MonitorEvent& event, Mcu& mcu) {
   if (verdict.violated()) {
     ++violations_reported_;
   }
+  if (obs_ != nullptr) {
+    // Arbitration outcome: value = how many monitors reported a failure on
+    // this event (the candidates), duration = the per-event cycle cost.
+    obs::Event out{.kind = obs::Kind::kMonitorVerdict,
+                   .time = mcu.Now(),
+                   .true_time = mcu.TrueNow(),
+                   .task = event.task,
+                   .path = event.path,
+                   .seq = event.seq,
+                   .duration = busy_now() - busy_before,
+                   .value = static_cast<double>(pending_.size()),
+                   .energy_fraction = event.energy_fraction,
+                   .detail = verdict.property};
+    if (verdict.violated()) {
+      out.action = ActionTypeName(verdict.action);
+    }
+    obs_->Publish(out);
+  }
   pending_.clear();
   continuation_.Finish();
   done_seq_ = event.seq;
@@ -156,6 +196,13 @@ void MonitorSet::OnPathRestart(PathId path, Mcu& mcu) {
   mcu.ExecuteCycles(mcu.costs().action_apply_cycles, tag);
   for (const auto& monitor : monitors_) {
     monitor->OnPathRestart(path);
+  }
+  if (obs_ != nullptr) {
+    obs_->Publish(obs::Event{.kind = obs::Kind::kMonitorReset,
+                             .time = mcu.Now(),
+                             .true_time = mcu.TrueNow(),
+                             .path = path,
+                             .value = static_cast<double>(monitors_.size())});
   }
 }
 

@@ -27,6 +27,7 @@
 #include "src/kernel/immortal.h"
 #include "src/monitor/arbitration.h"
 #include "src/monitor/monitor.h"
+#include "src/obs/bus.h"
 #include "src/spec/ast.h"
 
 namespace artemis {
@@ -92,6 +93,11 @@ class MonitorSet : public PropertyChecker {
 
   MonitorPlacement placement() const { return placement_; }
 
+  // Cross-layer observability bus (src/obs): when set, the monitor set
+  // publishes event deliveries, arbitrated verdicts (with per-event cycle
+  // cost), and path-reset propagation. nullptr = off.
+  void set_observer(obs::EventBus* bus) { obs_ = bus; }
+
   // .text proxy when the monitors are inlined at every event site instead of
   // generated once: the per-machine code duplicates per call site
   // (Section 6's memory-footprint argument against AOP-style weaving).
@@ -103,6 +109,7 @@ class MonitorSet : public PropertyChecker {
   MonitorPlacement placement_ = MonitorPlacement::kSeparate;
   RadioProfile radio_;
   std::vector<std::unique_ptr<Monitor>> monitors_;
+  obs::EventBus* obs_ = nullptr;
 
   // ---- FRAM-resident progress state (ImmortalThreads-backed) ----
   ImmortalContext continuation_{nullptr, MemOwner::kMonitor, "monitor-continuation"};

@@ -1,0 +1,70 @@
+#include "src/obs/trace_diff.h"
+
+#include <sstream>
+
+namespace artemis::obs {
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string::size_type pos = 0;
+  while (pos < text.size()) {
+    const std::string::size_type nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(pos));
+      break;
+    }
+    lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+TraceDiffResult DiffJsonlTraces(const std::string& left, const std::string& right) {
+  const std::vector<std::string> a = SplitLines(left);
+  const std::vector<std::string> b = SplitLines(right);
+  TraceDiffResult result;
+  result.left_lines = a.size();
+  result.right_lines = b.size();
+  const std::size_t max_lines = a.size() > b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < max_lines; ++i) {
+    const std::string* la = i < a.size() ? &a[i] : nullptr;
+    const std::string* lb = i < b.size() ? &b[i] : nullptr;
+    if (la != nullptr && lb != nullptr && *la == *lb) {
+      continue;
+    }
+    TraceDifference diff;
+    diff.line = i + 1;
+    diff.left = la != nullptr ? *la : "";
+    diff.right = lb != nullptr ? *lb : "";
+    result.differences.push_back(std::move(diff));
+  }
+  return result;
+}
+
+std::string RenderTraceDiff(const TraceDiffResult& result, const std::string& left_name,
+                            const std::string& right_name) {
+  std::ostringstream out;
+  for (const TraceDifference& diff : result.differences) {
+    out << "@ line " << diff.line << '\n';
+    if (!diff.left.empty()) {
+      out << "- " << diff.left << '\n';
+    }
+    if (!diff.right.empty()) {
+      out << "+ " << diff.right << '\n';
+    }
+  }
+  if (result.identical()) {
+    out << "traces identical: " << left_name << " == " << right_name << " ("
+        << result.left_lines << " lines)\n";
+  } else {
+    out << result.differences.size() << " difference(s) between " << left_name << " ("
+        << result.left_lines << " lines) and " << right_name << " (" << result.right_lines
+        << " lines)\n";
+  }
+  return out.str();
+}
+
+}  // namespace artemis::obs

@@ -1,0 +1,40 @@
+// Stable textual diff of two JSONL traces, the library behind
+// `artemisc trace diff` and the golden-trace regression gate. Traces are
+// deterministic line streams, so a positional line-by-line comparison is
+// exact: any divergence (including a different record count) is reported
+// with its 1-based line number. Header lines participate too — a schema or
+// metadata change is a reportable difference.
+#ifndef SRC_OBS_TRACE_DIFF_H_
+#define SRC_OBS_TRACE_DIFF_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace artemis::obs {
+
+struct TraceDifference {
+  std::size_t line = 0;     // 1-based line number
+  std::string left;         // "" when the left trace has no such line
+  std::string right;        // "" when the right trace has no such line
+};
+
+struct TraceDiffResult {
+  std::vector<TraceDifference> differences;
+  std::size_t left_lines = 0;
+  std::size_t right_lines = 0;
+
+  bool identical() const { return differences.empty(); }
+};
+
+// Compares two traces given their full contents.
+TraceDiffResult DiffJsonlTraces(const std::string& left, const std::string& right);
+
+// Renders the result the way `artemisc trace diff` prints it: a
+// "- left / + right" block per difference, then a one-line summary.
+std::string RenderTraceDiff(const TraceDiffResult& result, const std::string& left_name,
+                            const std::string& right_name);
+
+}  // namespace artemis::obs
+
+#endif  // SRC_OBS_TRACE_DIFF_H_

@@ -63,16 +63,33 @@ ExecStatus Mcu::ExecuteInternal(SimDuration duration, Milliwatts power, CostTag 
 
   // Power failure: outage begins now, device resumes at res.restart_at.
   ++stats_.reboots;
+  const SimTime device_death_time = clock_.Read();
   clock_.NotifyPowerFailure();
   ram_.LosePower();
   const SimTime died_at = clock_.TrueNow();
   const SimDuration outage = res.restart_at > died_at ? res.restart_at - died_at : 0;
+  if (obs_ != nullptr) {
+    obs_->Publish(obs::Event{.kind = obs::Kind::kSimPowerFail,
+                             .time = device_death_time,
+                             .true_time = died_at,
+                             .duration = outage,
+                             .energy_uj = stats_.TotalEnergy(),
+                             .energy_fraction = power_->StoredEnergyFraction()});
+  }
   if (outage > 0) {
     stats_.charging_time += outage;
     clock_.AdvanceTo(res.restart_at);
   }
   clock_.NotifyOutage(outage);
   power_->NotifyReboot(clock_.TrueNow());
+  if (obs_ != nullptr) {
+    obs_->Publish(obs::Event{.kind = obs::Kind::kSimBoot,
+                             .time = clock_.Read(),
+                             .true_time = clock_.TrueNow(),
+                             .duration = outage,
+                             .energy_uj = stats_.TotalEnergy(),
+                             .energy_fraction = power_->StoredEnergyFraction()});
+  }
 
   // Boot-time restore (kernel reload + monitorFinalize). It can itself be
   // interrupted; bound recursion so an undersized energy buffer is reported

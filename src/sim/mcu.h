@@ -15,6 +15,7 @@
 #include <string>
 
 #include "src/base/time.h"
+#include "src/obs/bus.h"
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/memory.h"
@@ -78,6 +79,13 @@ class Mcu {
   // Resets accounting (not memory registration) between experiment runs.
   void ResetStats() { stats_ = McuStats{}; }
 
+  // Attaches the cross-layer observability bus (src/obs). The MCU publishes
+  // sim.power-fail / sim.boot events with outage lengths, stored-charge
+  // fraction, and cumulative energy. nullptr (the default) disables
+  // publishing; no simulated cycles are ever charged either way.
+  void set_observer(obs::EventBus* bus) { obs_ = bus; }
+  obs::EventBus* observer() const { return obs_; }
+
  private:
   ExecStatus ExecuteInternal(SimDuration duration, Milliwatts power, CostTag tag, int depth);
 
@@ -88,6 +96,7 @@ class Mcu {
   RamArena ram_;
   McuStats stats_;
   bool starved_ = false;
+  obs::EventBus* obs_ = nullptr;
 };
 
 }  // namespace artemis

@@ -210,5 +210,60 @@ TEST(ArtemiscTest, UnknownAppRejected) {
   EXPECT_EQ(result.exit_code, 2);
 }
 
+// ----------------------------------------------------------------- trace --
+
+TEST(ArtemiscTest, TraceEmitsVersionedJsonl) {
+  const RunResult result = RunCli("trace --app health --schedule 6min --format jsonl");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_EQ(result.output.rfind("{\"schema\":\"artemis-trace/1\"", 0), 0u);
+  EXPECT_NE(result.output.find("\"kind\":\"sim.power-fail\""), std::string::npos);
+  EXPECT_NE(result.output.find("\"kind\":\"monitor.verdict\""), std::string::npos);
+}
+
+TEST(ArtemiscTest, TraceEmitsPerfettoDocument) {
+  const RunResult result = RunCli("trace --app health --schedule 6min --format perfetto");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(result.output.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(result.output.find("\"name\":\"charge-fraction\""), std::string::npos);
+}
+
+TEST(ArtemiscTest, TraceStatsReportsCompletedPaths) {
+  const RunResult result = RunCli("trace --app health --schedule 6min --format stats");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("events: total="), std::string::npos);
+  EXPECT_NE(result.output.find("paths: completed=3"), std::string::npos);
+}
+
+TEST(ArtemiscTest, TraceDiffIdenticalRunsExitZero) {
+  const std::string a = ::testing::TempDir() + "/trace_a.jsonl";
+  const std::string b = ::testing::TempDir() + "/trace_b.jsonl";
+  EXPECT_EQ(RunCli("trace --app health --schedule 6min --out " + a).exit_code, 0);
+  EXPECT_EQ(RunCli("trace --app health --schedule 6min --out " + b).exit_code, 0);
+  const RunResult diff = RunCli("trace diff " + a + " " + b);
+  EXPECT_EQ(diff.exit_code, 0) << diff.output;
+  EXPECT_NE(diff.output.find("traces identical"), std::string::npos);
+}
+
+TEST(ArtemiscTest, TraceDiffDifferentSchedulesExitOne) {
+  const std::string a = ::testing::TempDir() + "/trace_6min.jsonl";
+  const std::string b = ::testing::TempDir() + "/trace_cont.jsonl";
+  EXPECT_EQ(RunCli("trace --app health --schedule 6min --out " + a).exit_code, 0);
+  EXPECT_EQ(RunCli("trace --app health --schedule continuous --out " + b).exit_code, 0);
+  const RunResult diff = RunCli("trace diff " + a + " " + b);
+  EXPECT_EQ(diff.exit_code, 1);
+  EXPECT_NE(diff.output.find("difference(s)"), std::string::npos);
+}
+
+TEST(ArtemiscTest, TraceDiffMissingFileExitTwo) {
+  const RunResult diff = RunCli("trace diff /nonexistent/a.jsonl /nonexistent/b.jsonl");
+  EXPECT_EQ(diff.exit_code, 2);
+}
+
+TEST(ArtemiscTest, TraceRejectsBadScheduleAndFormat) {
+  EXPECT_EQ(RunCli("trace --app health --schedule nonsense").exit_code, 2);
+  EXPECT_EQ(RunCli("trace --app health --format xml").exit_code, 2);
+}
+
 }  // namespace
 }  // namespace artemis

@@ -9,6 +9,10 @@
 //   artemisc simulate [--app ...] [--spec <file>] [--system artemis|mayfly]
 //                     [--backend builtin|interpreted|compiled]
 //                     [--charge <duration>] [--budget <uJ>] [--trace]
+//   artemisc trace    [<spec-file>] [--app ...] [--schedule 6min|continuous]
+//                     [--budget <uJ>] [--backend ...]
+//                     [--format jsonl|perfetto|stats] [--out <file>]
+//   artemisc trace diff <a.jsonl> <b.jsonl>
 //
 // `check` runs parse -> validate -> consistency analysis and, with
 // --analyze, the FSM IR static analyzer (src/analysis); `codegen`/`dot` run
@@ -16,7 +20,10 @@
 // to emit on error-severity findings, dot shades dead states/transitions).
 // `simulate` executes the chosen demo app on the simulated platform. Spec
 // files may use the native Figure 5 syntax or, with --mayfly-lang, the
-// Mayfly-style edge-annotation frontend.
+// Mayfly-style edge-annotation frontend. `trace` runs the app under the
+// observability bus (src/obs) and exports the event stream as deterministic
+// JSONL, a Perfetto-loadable Chrome trace, or an aggregate report; `trace
+// diff` compares two JSONL traces line by line (docs/tracing.md).
 //
 // Exit codes: 0 = clean, 1 = findings / failures, 2 = usage or I/O error.
 #include <algorithm>
@@ -34,12 +41,17 @@
 #include "src/apps/health_app.h"
 #include "src/base/units.h"
 #include "src/core/builder.h"
+#include "src/core/obs_stats.h"
 #include "src/core/runtime.h"
 #include "src/core/stats.h"
 #include "src/ir/codegen_c.h"
 #include "src/ir/codegen_dot.h"
 #include "src/ir/lowering.h"
 #include "src/mayfly/mayfly.h"
+#include "src/obs/bus.h"
+#include "src/obs/jsonl_sink.h"
+#include "src/obs/perfetto_sink.h"
+#include "src/obs/trace_diff.h"
 #include "src/spec/app_lang.h"
 #include "src/spec/consistency.h"
 #include "src/spec/mayfly_frontend.h"
@@ -70,6 +82,10 @@ int Usage() {
                "           [--backend builtin|interpreted|compiled]\n"
                "           [--charge <duration>] [--budget <uJ>] [--trace]\n"
                "  profile  [--app ...] [--backend builtin|interpreted|compiled]\n"
+               "  trace    [<spec>] [--app ...] [--schedule 6min|continuous]\n"
+               "           [--budget <uJ>] [--backend ...]\n"
+               "           [--format jsonl|perfetto|stats] [--out <file>]\n"
+               "  trace diff <a.jsonl> <b.jsonl>\n"
                "exit codes: 0 = clean, 1 = findings or failures, 2 = usage/IO error\n");
   return kExitUsage;
 }
@@ -101,6 +117,12 @@ struct Args {
   ArbitrationPolicy policy = ArbitrationPolicy::kSeverity;
   SimDuration charge = 0;
   EnergyUj budget = 19'500.0;
+  // trace command only.
+  std::string schedule = "6min";  // charge-bin name or "continuous"
+  std::string format = "jsonl";   // jsonl | perfetto | stats
+  std::string out_path;           // --out; empty = stdout
+  std::string diff_left;          // trace diff operands
+  std::string diff_right;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -109,7 +131,21 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   }
   args->command = argv[1];
   int i = 2;
-  if (args->command != "simulate" && args->command != "profile") {
+  if (args->command == "trace") {
+    // `trace diff <a> <b>` is its own mode; otherwise the spec file is an
+    // optional positional (the demo app's embedded spec is the default).
+    if (i < argc && std::strcmp(argv[i], "diff") == 0) {
+      args->command = "trace-diff";
+      ++i;
+      if (i + 1 >= argc) {
+        return false;
+      }
+      args->diff_left = argv[i++];
+      args->diff_right = argv[i++];
+    } else if (i < argc && argv[i][0] != '-') {
+      args->spec_path = argv[i++];
+    }
+  } else if (args->command != "simulate" && args->command != "profile") {
     if (i >= argc) {
       return false;
     }
@@ -175,6 +211,24 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         return false;
       }
       args->budget = std::atof(value);
+    } else if (flag == "--schedule") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args->schedule = value;
+    } else if (flag == "--format") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args->format = value;
+    } else if (flag == "--out") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args->out_path = value;
     } else if (flag == "--policy") {
       const char* value = next();
       if (value == nullptr) {
@@ -508,6 +562,123 @@ int RunSimulate(const Args& args) {
   return result.completed ? 0 : 1;
 }
 
+// Runs the app under the observability bus and exports the event stream.
+// The JSONL output is deterministic (docs/tracing.md), so two runs with the
+// same arguments are byte-identical — the property `trace diff` and the
+// golden-trace CI gate build on.
+int RunTrace(const Args& args) {
+  auto app = MakeApp(args);
+  if (!app.has_value()) {
+    return kExitUsage;
+  }
+  std::string source = app->default_spec;
+  if (!args.spec_path.empty()) {
+    const std::optional<std::string> file = ReadFile(args.spec_path);
+    if (!file.has_value()) {
+      std::fprintf(stderr, "artemisc: cannot read '%s'\n", args.spec_path.c_str());
+      return kExitUsage;
+    }
+    source = *file;
+  }
+  // "--schedule Nmin" follows the canonical charge-bin convention used by
+  // the benches: the named period minus a 1 s boot margin of stored charge.
+  SimDuration charge = 0;
+  if (args.schedule != "continuous") {
+    const std::optional<SimDuration> period = ParseDuration(args.schedule);
+    if (!period.has_value() || *period <= 1 * kSecond) {
+      std::fprintf(stderr, "artemisc: bad schedule '%s' (a duration > 1s, or 'continuous')\n",
+                   args.schedule.c_str());
+      return kExitUsage;
+    }
+    charge = *period - 1 * kSecond;
+  }
+  PlatformBuilder platform;
+  if (charge != 0) {
+    platform.WithFixedCharge(args.budget, charge);
+  } else {
+    platform.WithContinuousPower();
+  }
+  auto mcu = platform.Build();
+
+  std::vector<std::string> names;
+  for (TaskId t = 0; t < app->graph.task_count(); ++t) {
+    names.push_back(app->graph.TaskName(t));
+  }
+
+  std::ostringstream trace_out;
+  obs::EventBus bus;
+  std::unique_ptr<obs::JsonlSink> jsonl;
+  std::unique_ptr<obs::PerfettoSink> perfetto;
+  ObsStatsAggregator stats;
+  if (args.format == "jsonl") {
+    obs::JsonlOptions options;
+    options.app = args.app_file.empty() ? args.app : args.app_file;
+    options.power = charge != 0 ? "fixed-charge" : "always-on";
+    options.schedule = args.schedule;
+    options.backend = MonitorBackendName(args.backend);
+    options.task_names = names;
+    jsonl = std::make_unique<obs::JsonlSink>(trace_out, options);
+    bus.AddSink(jsonl.get());
+  } else if (args.format == "perfetto") {
+    perfetto = std::make_unique<obs::PerfettoSink>(trace_out, names);
+    bus.AddSink(perfetto.get());
+  } else if (args.format == "stats") {
+    bus.AddSink(&stats);
+  } else {
+    std::fprintf(stderr, "artemisc: unknown format '%s' (jsonl|perfetto|stats)\n",
+                 args.format.c_str());
+    return kExitUsage;
+  }
+
+  ArtemisConfig config;
+  config.backend = args.backend;
+  config.kernel.max_wall_time = 12 * kHour;
+  config.observer = &bus;
+  auto runtime = ArtemisRuntime::Create(&app->graph, source, mcu.get(), config);
+  if (!runtime.ok()) {
+    std::fprintf(stderr, "setup error: %s\n", runtime.status().ToString().c_str());
+    return kExitFindings;
+  }
+  const KernelRunResult result = runtime.value()->Run();
+  bus.Flush();
+  if (args.format == "stats") {
+    trace_out << stats.Render();
+  }
+
+  const std::string rendered = trace_out.str();
+  if (!args.out_path.empty()) {
+    std::ofstream out(args.out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "artemisc: cannot write '%s'\n", args.out_path.c_str());
+      return kExitUsage;
+    }
+    out << rendered;
+  } else {
+    std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  }
+  std::fprintf(stderr, "trace: app=%s schedule=%s format=%s completed=%s reboots=%llu\n",
+               (args.app_file.empty() ? args.app : args.app_file).c_str(),
+               args.schedule.c_str(), args.format.c_str(), result.completed ? "yes" : "no",
+               static_cast<unsigned long long>(result.stats.reboots));
+  return result.completed ? kExitClean : kExitFindings;
+}
+
+int RunTraceDiff(const Args& args) {
+  const std::optional<std::string> left = ReadFile(args.diff_left);
+  if (!left.has_value()) {
+    std::fprintf(stderr, "artemisc: cannot read '%s'\n", args.diff_left.c_str());
+    return kExitUsage;
+  }
+  const std::optional<std::string> right = ReadFile(args.diff_right);
+  if (!right.has_value()) {
+    std::fprintf(stderr, "artemisc: cannot read '%s'\n", args.diff_right.c_str());
+    return kExitUsage;
+  }
+  const obs::TraceDiffResult result = obs::DiffJsonlTraces(*left, *right);
+  std::printf("%s", obs::RenderTraceDiff(result, args.diff_left, args.diff_right).c_str());
+  return result.identical() ? kExitClean : kExitFindings;
+}
+
 int Main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) {
@@ -518,6 +689,12 @@ int Main(int argc, char** argv) {
   }
   if (args.command == "profile") {
     return RunProfile(args);
+  }
+  if (args.command == "trace") {
+    return RunTrace(args);
+  }
+  if (args.command == "trace-diff") {
+    return RunTraceDiff(args);
   }
   const std::optional<std::string> source = ReadFile(args.spec_path);
   if (!source.has_value()) {

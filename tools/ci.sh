@@ -6,6 +6,11 @@
 #   3. Static analysis gate: `artemisc check --analyze --json` must come out
 #      clean (exit 0) for every shipped example spec, and must FAIL (exit 1)
 #      for every fixture under examples/specs/bad/.
+#   4. Golden-trace gate: `artemisc trace` of the health app under 6-minute
+#      charging must be byte-identical to tests/golden/trace/health_6min.jsonl
+#      (checked with `artemisc trace diff`).
+#   5. Docs link check: every relative .md link in README.md, DESIGN.md,
+#      EXPERIMENTS.md, and docs/ must resolve to an existing file.
 #
 # Usage: tools/ci.sh [release-build-dir [sanitize-build-dir]]
 #        (defaults: build-ci, build-sanitize)
@@ -15,15 +20,15 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 release_dir="${1:-${repo_root}/build-ci}"
 sanitize_dir="${2:-${repo_root}/build-sanitize}"
 
-echo "== [1/3] Release build + tests =="
+echo "== [1/5] Release build + tests =="
 cmake -B "${release_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${release_dir}" -j "$(nproc)"
 ctest --test-dir "${release_dir}" --output-on-failure
 
-echo "== [2/3] Sanitized build + tests =="
+echo "== [2/5] Sanitized build + tests =="
 "${repo_root}/tools/run_sanitized_tests.sh" "${sanitize_dir}"
 
-echo "== [3/3] Static analysis over example specs =="
+echo "== [3/5] Static analysis over example specs =="
 artemisc="${release_dir}/tools/artemisc"
 
 check_clean() {
@@ -59,5 +64,46 @@ check_clean "sensornet.prop" "${specs}/sensornet.prop" --app-file "${specs}/sens
 check_dirty "bad/dead_state.prop" ART001 "${specs}/bad/dead_state.prop" --app health
 check_dirty "bad/unsat_guard.prop" ART003 "${specs}/bad/unsat_guard.prop" --app health
 check_dirty "bad/overlap.prop" ART005 "${specs}/bad/overlap.prop" --app health
+
+echo "== [4/5] Golden-trace regression =="
+# The exported observability stream is deterministic: a fresh run of the
+# canonical scenario must reproduce the checked-in golden byte-for-byte.
+trace_tmp="$(mktemp /tmp/artemis_trace.XXXXXX.jsonl)"
+trap 'rm -f "${trace_tmp}"' EXIT
+"${artemisc}" trace --app health --schedule 6min --format jsonl --out "${trace_tmp}" \
+  2> /dev/null
+if ! "${artemisc}" trace diff "${repo_root}/tests/golden/trace/health_6min.jsonl" \
+    "${trace_tmp}"; then
+  echo "CI FAIL: health 6min trace diverged from tests/golden/trace/health_6min.jsonl" >&2
+  echo "         (intentional? regenerate with UPDATE_GOLDEN=1 trace_golden_test)" >&2
+  exit 1
+fi
+echo "ok: health 6min trace matches the golden"
+
+echo "== [5/5] Docs link check =="
+# Every relative .md link in the top-level docs and docs/ must resolve.
+# Matches [text](path.md) and [text](path.md#anchor); external http(s)
+# links are skipped.
+link_errors=0
+for doc in "${repo_root}/README.md" "${repo_root}/DESIGN.md" "${repo_root}/EXPERIMENTS.md" \
+    "${repo_root}"/docs/*.md; do
+  [[ -f "${doc}" ]] || continue
+  while IFS= read -r link; do
+    target="${link%%#*}"
+    case "${target}" in
+      http://*|https://*) continue ;;
+    esac
+    if [[ ! -e "$(dirname "${doc}")/${target}" ]]; then
+      echo "CI FAIL: broken link in ${doc#"${repo_root}"/}: ${link}" >&2
+      link_errors=$((link_errors + 1))
+    fi
+  done < <(grep -o '\[[^]]*\](\([^)]*\.md[^)]*\))' "${doc}" 2>/dev/null \
+           | sed 's/.*(\(.*\))/\1/')
+done
+if [[ "${link_errors}" -ne 0 ]]; then
+  echo "CI FAIL: ${link_errors} broken doc link(s)" >&2
+  exit 1
+fi
+echo "ok: all relative .md links resolve"
 
 echo "CI: all stages passed"
