@@ -3,10 +3,15 @@
 // through 6 under a charging delay that violates the MITD window, reporting
 // completion, wall time, and energy. Also contrasts the two onFail
 // escalation actions.
+//
+// The nine spec variants run as one sweep grid: the spec axis is the
+// ablation variable, and the compiled-spec cache deduplicates the repeated
+// maxAttempt-3/skipPath text between the two sections.
 #include <cstdio>
 #include <string>
 
 #include "bench/bench_common.h"
+#include "src/sweep/sweep.h"
 
 using namespace artemis;
 using namespace artemis::bench;
@@ -39,24 +44,39 @@ int main() {
   std::printf("=== Ablation: maxAttempt sweep (6 min charging, MITD = 5 min) ===\n\n");
   std::printf("%-24s %-26s %-12s\n", "configuration", "outcome", "energy");
 
-  const SimDuration give_up = 8 * kHour;
+  sweep::SweepSpec grid;
+  grid.specs.clear();
   for (int attempts = 0; attempts <= 6; ++attempts) {
-    auto run = RunArtemis(
-        PlatformBuilder().WithFixedCharge(kOnBudgetUj, ChargeTime(6)).Build(), give_up,
-        SpecWithMaxAttempt(attempts, "skipPath"));
     const std::string label =
         attempts == 0 ? "maxAttempt disabled" : "maxAttempt " + std::to_string(attempts);
-    std::printf("%-24s %-26s %-12s\n", label.c_str(), CompletionCell(run.result).c_str(),
-                run.result.completed ? FormatEnergy(run.result.stats.TotalEnergy()).c_str()
+    grid.specs.push_back({label, SpecWithMaxAttempt(attempts, "skipPath")});
+  }
+  for (const char* action : {"skipPath", "completePath"}) {
+    grid.specs.push_back({action, SpecWithMaxAttempt(3, action)});
+  }
+  grid.charges = {ChargeTime(6)};
+  grid.budgets = {kOnBudgetUj};
+  grid.max_wall = 8 * kHour;
+  auto outcome = sweep::RunSweep(grid, SweepJobs());
+  if (!outcome.ok() || !outcome.value().AllOk()) {
+    std::fprintf(stderr, "ablation sweep failed: %s\n",
+                 outcome.ok() ? "error rows" : outcome.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto& rows = outcome.value().rows;
+  for (int i = 0; i < 7; ++i) {
+    const sweep::SweepRow& row = rows[i];
+    std::printf("%-24s %-26s %-12s\n", row.spec_label.c_str(),
+                CompletionCell(row.result).c_str(),
+                row.result.completed ? FormatEnergy(row.result.stats.TotalEnergy()).c_str()
                                      : "-");
   }
 
   std::printf("\nescalation action comparison (maxAttempt 3):\n");
-  for (const char* action : {"skipPath", "completePath"}) {
-    auto run = RunArtemis(
-        PlatformBuilder().WithFixedCharge(kOnBudgetUj, ChargeTime(6)).Build(), give_up,
-        SpecWithMaxAttempt(3, action));
-    std::printf("%-24s %-26s\n", action, CompletionCell(run.result).c_str());
+  for (int i = 7; i < 9; ++i) {
+    const sweep::SweepRow& row = rows[i];
+    std::printf("%-24s %-26s\n", row.spec_label.c_str(), CompletionCell(row.result).c_str());
   }
   std::printf("\nshape: without maxAttempt ARTEMIS degenerates to Mayfly's livelock; any\n"
               "positive bound restores completion, with time/energy growing in the bound.\n");

@@ -2,9 +2,14 @@
 // ("generated C") monitors — the Section 7 "Implementation Alternatives"
 // trade-off. Same semantics (property-tested in tests/), different per-event
 // cost and footprint.
+//
+// The backend axis of one sweep grid: each backend shares the parsed AST
+// through the compiled-spec cache but pays only its own pipeline depth
+// (builtin: parse; compiled: parse+lower+flatten; interpreted: parse+lower).
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "src/sweep/sweep.h"
 
 using namespace artemis;
 using namespace artemis::bench;
@@ -14,14 +19,22 @@ int main() {
   std::printf("%-14s %-16s %-16s %-12s\n", "backend", "monitor overhead", "total time",
               "energy");
 
-  for (const MonitorBackend backend :
-       {MonitorBackend::kBuiltin, MonitorBackend::kCompiled, MonitorBackend::kInterpreted}) {
-    auto run = RunArtemis(PlatformBuilder().WithContinuousPower().Build(), 0, HealthAppSpec(),
-                          backend);
-    const OverheadBreakdown b = BreakdownFromStats(run.result.stats);
-    std::printf("%-14s %-16s %-16s %-12s\n", MonitorBackendName(backend),
+  sweep::SweepSpec grid;
+  grid.backends = {"builtin", "compiled", "interpreted"};
+  grid.charges = {0};
+  grid.max_wall = 0;
+  auto outcome = sweep::RunSweep(grid, SweepJobs());
+  if (!outcome.ok() || !outcome.value().AllOk()) {
+    std::fprintf(stderr, "ablation sweep failed: %s\n",
+                 outcome.ok() ? "error rows" : outcome.status().ToString().c_str());
+    return 1;
+  }
+
+  for (const sweep::SweepRow& row : outcome.value().rows) {
+    const OverheadBreakdown b = BreakdownFromStats(row.result.stats);
+    std::printf("%-14s %-16s %-16s %-12s\n", row.backend.c_str(),
                 FormatDuration(b.monitor_overhead).c_str(), FormatDuration(b.Total()).c_str(),
-                FormatEnergy(run.result.stats.TotalEnergy()).c_str());
+                FormatEnergy(row.result.stats.TotalEnergy()).c_str());
   }
 
   std::printf("\nshape: the interpreter pays ~3x the per-event monitor cost of the\n"

@@ -8,24 +8,18 @@
 // measurable outage 30 s) silently under-reports 6-minute outages, so the
 // MITD property never observes the staleness — the application "succeeds"
 // while transmitting stale acceleration data.
+//
+// The timekeeper axis of one sweep grid, with a post_run hook auditing each
+// point's execution trace against omniscient (true) time.
 #include <cstdio>
-#include <functional>
-#include <memory>
 
 #include "bench/bench_common.h"
-#include "src/sim/timekeeper.h"
+#include "src/sweep/sweep.h"
 
 using namespace artemis;
 using namespace artemis::bench;
 
 namespace {
-
-struct Row {
-  bool completed;
-  int mitd_violations;
-  int stale_sends;  // sends whose true accel-data age exceeded the window
-  SimDuration wall;
-};
 
 // The Figure 5 spec minus maxDuration(send): that property would *also* see
 // the (under-reported but still >100 ms) elapsed time and skip the send,
@@ -44,48 +38,13 @@ calcAvg: {
 accel: { maxTries: 10 onFail: skipPath; }
 )";
 
-Row RunWith(std::function<std::unique_ptr<OutageTimekeeper>()> make_timekeeper) {
-  HealthApp app = BuildHealthApp();
-  PlatformBuilder platform;
-  platform.WithFixedCharge(kOnBudgetUj, ChargeTime(6));
-  if (make_timekeeper != nullptr) {
-    platform.WithTimekeeper(make_timekeeper());
-  }
-  auto mcu = platform.Build();
-  ArtemisConfig config;
-  config.kernel.max_wall_time = 8 * kHour;
-  auto runtime = ArtemisRuntime::Create(&app.graph, kSpec, mcu.get(), config);
-  if (!runtime.ok()) {
-    std::fprintf(stderr, "setup failed: %s\n", runtime.status().ToString().c_str());
-    std::exit(1);
-  }
-  const KernelRunResult result = runtime.value()->Run();
-
-  Row row{};
-  row.completed = result.completed;
-  row.wall = result.finished_at;
-  // Audit the trace with omniscient (true) time: every committed `send` on
-  // path #2 whose true distance from the last accel completion exceeds the
-  // 5-minute window is a stale transmission the monitor failed to stop.
-  SimTime last_accel_end_true = 0;
-  bool accel_seen = false;
-  for (const TraceRecord& r : runtime.value()->kernel().trace().records()) {
-    if (r.kind == TraceKind::kViolation && r.detail.find("MITD") != std::string::npos) {
-      ++row.mitd_violations;
-    }
-    if (r.kind == TraceKind::kTaskEnd && r.task == app.accel) {
-      last_accel_end_true = r.true_time;
-      accel_seen = true;
-    }
-    if (r.kind == TraceKind::kTaskEnd && r.task == app.send && r.path == app.path_resp &&
-        accel_seen) {
-      const SimDuration true_age = r.true_time - last_accel_end_true;
-      if (true_age > 5 * kMinute) {
-        ++row.stale_sends;
-      }
+double Metric(const sweep::SweepRow& row, const std::string& key) {
+  for (const auto& [name, value] : row.metrics) {
+    if (name == key) {
+      return value;
     }
   }
-  return row;
+  return 0.0;
 }
 
 }  // namespace
@@ -95,21 +54,61 @@ int main() {
   std::printf("%-24s %-10s %-16s %-12s %-12s\n", "timekeeper", "done", "MITD violations",
               "stale sends", "wall");
 
-  struct Config {
-    const char* label;
-    std::function<std::unique_ptr<OutageTimekeeper>()> make;
+  // Task/path ids for the trace audit (identical in every per-point graph
+  // instance — the app builder is deterministic).
+  const HealthApp app = BuildHealthApp();
+
+  sweep::SweepSpec grid;
+  grid.specs = {{"no-maxduration", kSpec}};
+  grid.timekeepers = {"ideal", "rtc:0.01", "remanence:30s:0.1"};
+  grid.charges = {ChargeTime(6)};
+  grid.budgets = {kOnBudgetUj};
+  grid.max_wall = 8 * kHour;
+  grid.record_trace = true;
+  // Audit the trace with omniscient (true) time: every committed `send` on
+  // path #2 whose true distance from the last accel completion exceeds the
+  // 5-minute window is a stale transmission the monitor failed to stop.
+  grid.post_run = [&app](const sweep::SweepPoint&, const sweep::SweepRunArtifacts& artifacts,
+                         sweep::SweepRow* row) {
+    double mitd_violations = 0;
+    double stale_sends = 0;
+    SimTime last_accel_end_true = 0;
+    bool accel_seen = false;
+    for (const TraceRecord& r : artifacts.artemis->kernel().trace().records()) {
+      if (r.kind == TraceKind::kViolation && r.detail.find("MITD") != std::string::npos) {
+        ++mitd_violations;
+      }
+      if (r.kind == TraceKind::kTaskEnd && r.task == app.accel) {
+        last_accel_end_true = r.true_time;
+        accel_seen = true;
+      }
+      if (r.kind == TraceKind::kTaskEnd && r.task == app.send && r.path == app.path_resp &&
+          accel_seen) {
+        const SimDuration true_age = r.true_time - last_accel_end_true;
+        if (true_age > 5 * kMinute) {
+          ++stale_sends;
+        }
+      }
+    }
+    row->metrics.emplace_back("mitd_violations", mitd_violations);
+    row->metrics.emplace_back("stale_sends", stale_sends);
   };
-  const Config configs[] = {
-      {"ideal", [] { return std::make_unique<IdealTimekeeper>(); }},
-      {"rtc (1% error)", [] { return std::make_unique<RtcTimekeeper>(0.01); }},
-      {"remanence (max 30s)",
-       [] { return std::make_unique<RemanenceTimekeeper>(30 * kSecond, 0.1); }},
-  };
-  for (const Config& config : configs) {
-    const Row row = RunWith(config.make);
-    std::printf("%-24s %-10s %-16d %-12d %-12s\n", config.label,
-                row.completed ? "yes" : "no", row.mitd_violations, row.stale_sends,
-                FormatDuration(row.wall).c_str());
+
+  auto outcome = sweep::RunSweep(grid, SweepJobs());
+  if (!outcome.ok() || !outcome.value().AllOk()) {
+    std::fprintf(stderr, "ablation sweep failed: %s\n",
+                 outcome.ok() ? "error rows" : outcome.status().ToString().c_str());
+    return 1;
+  }
+
+  const char* labels[] = {"ideal", "rtc (1% error)", "remanence (max 30s)"};
+  for (int i = 0; i < 3; ++i) {
+    const sweep::SweepRow& row = outcome.value().rows[i];
+    std::printf("%-24s %-10s %-16d %-12d %-12s\n", labels[i],
+                row.result.completed ? "yes" : "no",
+                static_cast<int>(Metric(row, "mitd_violations")),
+                static_cast<int>(Metric(row, "stale_sends")),
+                FormatDuration(row.result.finished_at).c_str());
   }
 
   std::printf("\nshape: with honest timekeeping the MITD property fires 3x and stops the\n"

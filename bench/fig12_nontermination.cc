@@ -6,9 +6,15 @@
 // #2 forever (non-termination) while ARTEMIS's maxAttempt construct skips
 // the path after three violations and completes, with total time growing
 // roughly linearly in the charging delay.
+//
+// The 20 points run through the sweep engine (src/sweep): one compiled-spec
+// cache build serves all of them, and SWEEP_JOBS (default 4) workers execute
+// them concurrently — output is byte-identical for any job count.
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench/bench_common.h"
+#include "src/sweep/sweep.h"
 
 using namespace artemis;
 using namespace artemis::bench;
@@ -19,18 +25,22 @@ int main() {
               kOnBudgetUj / 1000.0);
   std::printf("%-10s %-28s %-28s\n", "charge", "ARTEMIS", "Mayfly");
 
-  // A Mayfly livelock cycles once per charging delay; 40 cycles of the
-  // longest delay is unambiguous non-termination.
-  const SimDuration kGiveUp = 8 * kHour;
+  auto outcome = sweep::RunSweep(Fig12Grid(), SweepJobs());
+  if (!outcome.ok() || !outcome.value().AllOk()) {
+    std::fprintf(stderr, "fig12 sweep failed: %s\n",
+                 outcome.ok() ? "error rows" : outcome.status().ToString().c_str());
+    return 1;
+  }
 
+  // Grid expansion order puts the 10 ARTEMIS rows first, then the 10 Mayfly
+  // rows, each in charging-time order.
+  const auto& rows = outcome.value().rows;
   for (int minutes = 1; minutes <= 10; ++minutes) {
-    auto artemis_run = RunArtemis(
-        PlatformBuilder().WithFixedCharge(kOnBudgetUj, ChargeTime(minutes)).Build(), kGiveUp);
-    auto mayfly_run = RunMayfly(
-        PlatformBuilder().WithFixedCharge(kOnBudgetUj, ChargeTime(minutes)).Build(), kGiveUp);
+    const sweep::SweepRow& artemis_row = rows[minutes - 1];
+    const sweep::SweepRow& mayfly_row = rows[10 + minutes - 1];
     std::printf("%-10s %-28s %-28s\n", (std::to_string(minutes) + "min").c_str(),
-                CompletionCell(artemis_run.result).c_str(),
-                CompletionCell(mayfly_run.result).c_str());
+                CompletionCell(artemis_row.result).c_str(),
+                CompletionCell(mayfly_row.result).c_str());
   }
   std::printf("\npaper shape: Mayfly DNFs once charging exceeds the MITD window;\n"
               "ARTEMIS always completes, time growing with the charging delay.\n");

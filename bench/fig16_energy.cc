@@ -5,11 +5,15 @@
 // long delays (beyond the 5-minute MITD) — Mayfly's demand is unbounded
 // (it never completes), while ARTEMIS finishes at roughly 3x its continuous
 // energy (three failed path attempts before the skip).
+//
+// All 10 points run through the sweep engine with per-point observability
+// stats (collect_stats attaches a bus at zero simulated cost), so the
+// 10-minute path-energy breakdown comes from the same run that fills the
+// table — no separate instrumented re-run.
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "src/core/obs_stats.h"
-#include "src/obs/bus.h"
+#include "src/sweep/sweep.h"
 
 using namespace artemis;
 using namespace artemis::bench;
@@ -29,32 +33,34 @@ int main() {
   std::printf("=== Figure 16: energy per completed run ===\n\n");
   std::printf("%-14s %-20s %-20s\n", "power", "ARTEMIS", "Mayfly");
 
-  const SimDuration give_up = 8 * kHour;
-
-  auto artemis_cont = RunArtemis(PlatformBuilder().WithContinuousPower().Build(), 0);
-  auto mayfly_cont = RunMayfly(PlatformBuilder().WithContinuousPower().Build(), 0);
-  std::printf("%-14s %-20s %-20s\n", "continuous", EnergyCell(artemis_cont.result).c_str(),
-              EnergyCell(mayfly_cont.result).c_str());
-
-  for (const int minutes : {1, 2, 5, 10}) {
-    auto a = RunArtemis(
-        PlatformBuilder().WithFixedCharge(kOnBudgetUj, ChargeTime(minutes)).Build(), give_up);
-    auto m = RunMayfly(
-        PlatformBuilder().WithFixedCharge(kOnBudgetUj, ChargeTime(minutes)).Build(), give_up);
-    std::printf("%-14s %-20s %-20s\n", (std::to_string(minutes) + "min charge").c_str(),
-                EnergyCell(a.result).c_str(), EnergyCell(m.result).c_str());
+  sweep::SweepSpec grid;
+  grid.systems = {"artemis", "mayfly"};
+  grid.charges = {0, ChargeTime(1), ChargeTime(2), ChargeTime(5), ChargeTime(10)};
+  grid.budgets = {kOnBudgetUj};
+  grid.max_wall = 8 * kHour;
+  grid.collect_stats = true;
+  auto outcome = sweep::RunSweep(grid, SweepJobs());
+  if (!outcome.ok() || !outcome.value().AllOk()) {
+    std::fprintf(stderr, "fig16 sweep failed: %s\n",
+                 outcome.ok() ? "error rows" : outcome.status().ToString().c_str());
+    return 1;
   }
 
-  // The 10-minute point re-run through the observability bus: the stats
-  // aggregator attributes cumulative energy to each completed path, showing
-  // where the ~3x demand goes (failed path-#2 attempts before the skip).
-  const double continuous = artemis_cont.result.stats.TotalEnergy();
-  obs::EventBus bus;
-  ObsStatsAggregator agg;
-  bus.AddSink(&agg);
-  auto artemis_10 =
-      RunArtemis(PlatformBuilder().WithFixedCharge(kOnBudgetUj, ChargeTime(10)).Build(),
-                 give_up, HealthAppSpec(), MonitorBackend::kBuiltin, &bus);
+  // Rows 0..4 are ARTEMIS over the charge axis, rows 5..9 Mayfly.
+  const auto& rows = outcome.value().rows;
+  const char* labels[] = {"continuous", "1min charge", "2min charge", "5min charge",
+                          "10min charge"};
+  for (int i = 0; i < 5; ++i) {
+    std::printf("%-14s %-20s %-20s\n", labels[i], EnergyCell(rows[i].result).c_str(),
+                EnergyCell(rows[5 + i].result).c_str());
+  }
+
+  // The 10-minute ARTEMIS point's aggregator attributes cumulative energy to
+  // each completed path, showing where the ~3x demand goes (failed path-#2
+  // attempts before the skip).
+  const double continuous = rows[0].result.stats.TotalEnergy();
+  const sweep::SweepRow& artemis_10 = rows[4];
+  const ObsStatsAggregator& agg = *artemis_10.stats;
   std::printf("\nARTEMIS 10min/continuous energy ratio = %.2fx (paper: ~3x)\n",
               artemis_10.result.stats.TotalEnergy() / continuous);
   std::printf("ARTEMIS 10min path profile: completed=%llu energy_uj[%s]\n",

@@ -1,0 +1,98 @@
+// Sweep-engine scaling: points/sec on the Figure 12 grid (20 points) at
+// 1/2/4/8 worker threads, plus the determinism check (the --jobs 8 JSON
+// export must be byte-identical to --jobs 1). Writes BENCH_sweep.json with
+// the measured numbers; docs/sweep.md records a reference run.
+//
+// Host caveat: speedup is bounded by the machine's core count — on a
+// single-core container every configuration measures ~1x, which the JSON
+// records honestly via "host_cpus".
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/sweep/sweep.h"
+
+using namespace artemis;
+using namespace artemis::bench;
+
+namespace {
+
+struct Sample {
+  int jobs;
+  double seconds;
+  double points_per_sec;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_sweep.json";
+  const sweep::SweepSpec grid = Fig12Grid();
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+
+  std::printf("=== Sweep engine scaling (fig12 grid, 20 points) ===\n");
+  std::printf("host cpus: %u\n\n", host_cpus);
+  std::printf("%-6s %-10s %-12s %-8s\n", "jobs", "seconds", "points/sec", "speedup");
+
+  // Warm-up with a throwaway run so first-touch costs (page faults, lazy
+  // allocator pools) don't bias the jobs=1 baseline.
+  (void)sweep::RunSweep(grid, 1);
+
+  // The simulator is event-driven, so one 20-point grid takes well under a
+  // millisecond; repeat it enough times for a stable wall-clock sample.
+  constexpr int kReps = 200;
+  std::string json_jobs1;
+  std::vector<Sample> samples;
+  bool deterministic = true;
+  for (const int jobs : {1, 2, 4, 8}) {
+    StatusOr<sweep::SweepOutcome> outcome = Status::Internal("unset");
+    const auto start = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kReps; ++rep) {
+      outcome = sweep::RunSweep(grid, jobs);
+      if (!outcome.ok() || !outcome.value().AllOk()) {
+        std::fprintf(stderr, "sweep_scaling: sweep failed at jobs=%d\n", jobs);
+        return 1;
+      }
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(end - start).count() / kReps;
+    const double pps = static_cast<double>(outcome.value().rows.size()) / seconds;
+    samples.push_back({jobs, seconds, pps});
+    std::printf("%-6d %-10.3f %-12.1f %-8.2f\n", jobs, seconds, pps,
+                samples.front().seconds / seconds);
+    const std::string json = sweep::RenderJson(grid, outcome.value());
+    if (jobs == 1) {
+      json_jobs1 = json;
+    } else if (json != json_jobs1) {
+      deterministic = false;
+    }
+  }
+  std::printf("\njobs=8 JSON byte-identical to jobs=1: %s\n", deterministic ? "yes" : "NO");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "sweep_scaling: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"bench\": \"sweep_scaling\",\n  \"grid\": \"fig12\",\n  \"points\": 20,\n";
+  out << "  \"host_cpus\": " << host_cpus << ",\n";
+  out << "  \"deterministic_across_jobs\": " << (deterministic ? "true" : "false") << ",\n";
+  out << "  \"samples\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "    {\"jobs\": %d, \"seconds\": %.4f, \"points_per_sec\": %.2f, "
+                  "\"speedup\": %.3f}%s\n",
+                  samples[i].jobs, samples[i].seconds, samples[i].points_per_sec,
+                  samples.front().seconds / samples[i].seconds,
+                  i + 1 < samples.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return deterministic ? 0 : 1;
+}

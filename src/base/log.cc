@@ -1,29 +1,34 @@
 #include "src/base/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace artemis {
 namespace {
-
-LogLevel g_level = LogLevel::kWarn;
 
 void DefaultSink(LogLevel level, const std::string& message) {
   static const char* const kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR", "OFF"};
   std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)], message.c_str());
 }
 
-LogSink g_sink = &DefaultSink;
+// Atomics: sweep workers read the level/sink concurrently with whatever
+// thread configured them (configuration is expected to happen before the
+// workers start; atomics make the benign race well-defined under TSan).
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<LogSink> g_sink{&DefaultSink};
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
-void SetLogSink(LogSink sink) { g_sink = sink != nullptr ? sink : &DefaultSink; }
+void SetLogSink(LogSink sink) {
+  g_sink.store(sink != nullptr ? sink : &DefaultSink, std::memory_order_relaxed);
+}
 
 void LogMessage(LogLevel level, const std::string& message) {
-  if (level >= g_level && level != LogLevel::kOff) {
-    g_sink(level, message);
+  if (level >= GetLogLevel() && level != LogLevel::kOff) {
+    g_sink.load(std::memory_order_relaxed)(level, message);
   }
 }
 

@@ -59,6 +59,33 @@ StatusOr<std::unique_ptr<ArtemisRuntime>> ArtemisRuntime::CreateFromAst(
                          std::move(validation.warnings), config));
 }
 
+StatusOr<std::unique_ptr<ArtemisRuntime>> ArtemisRuntime::CreateFromArtifact(
+    const AppGraph* graph, const SharedSpecArtifactPtr& artifact, Mcu* mcu,
+    const ArtemisConfig& config) {
+  if (const Status status = graph->Validate(); !status.ok()) {
+    return status;
+  }
+  if (artifact == nullptr) {
+    return Status::Invalid("null spec artifact");
+  }
+  // Validation ran when the artifact was built; only the strictness policy
+  // is re-applied here (it is a per-run config knob, not pipeline work).
+  if (config.warnings_are_errors && !artifact->validation_warnings.empty()) {
+    return Status::FailedPrecondition("spec has validation warnings: " +
+                                      artifact->validation_warnings.front());
+  }
+  const MonitorSetOptions monitor_options{
+      .policy = config.arbitration, .placement = config.placement, .radio = config.radio};
+  StatusOr<std::unique_ptr<MonitorSet>> monitors = BuildMonitorSetFromArtifact(
+      artifact, *graph, config.backend, config.lowering, monitor_options);
+  if (!monitors.ok()) {
+    return monitors.status();
+  }
+  return std::unique_ptr<ArtemisRuntime>(
+      new ArtemisRuntime(graph, artifact->ast, mcu, std::move(monitors).value(),
+                         artifact->validation_warnings, config));
+}
+
 KernelRunResult ArtemisRuntime::Run() { return kernel_->Run(); }
 
 std::size_t ArtemisRuntime::RuntimeTextBytes() {

@@ -15,6 +15,7 @@
 #include "src/kernel/app_graph.h"
 #include "src/kernel/kernel.h"
 #include "src/monitor/monitor_set.h"
+#include "src/monitor/shared_spec.h"
 #include "src/obs/bus.h"
 #include "src/sim/mcu.h"
 
@@ -49,6 +50,14 @@ class ArtemisRuntime {
   static StatusOr<std::unique_ptr<ArtemisRuntime>> CreateFromAst(const AppGraph* graph,
                                                                  const SpecAst& spec, Mcu* mcu,
                                                                  const ArtemisConfig& config);
+
+  // From a pre-built shared spec artifact (src/monitor/shared_spec.h): no
+  // parse / validate / lower / compile work happens here — the monitors are
+  // per-run state over the artifact's immutable programs. This is the sweep
+  // engine's per-point setup path: cost is arena allocation, not pipeline.
+  static StatusOr<std::unique_ptr<ArtemisRuntime>> CreateFromArtifact(
+      const AppGraph* graph, const SharedSpecArtifactPtr& artifact, Mcu* mcu,
+      const ArtemisConfig& config);
 
   // Runs the application to completion / starvation / non-termination.
   KernelRunResult Run();

@@ -10,7 +10,9 @@
 #ifndef SRC_MONITOR_COMPILED_H_
 #define SRC_MONITOR_COMPILED_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/ir/compile.h"
@@ -29,7 +31,13 @@ namespace artemis {
 
 class CompiledMonitor final : public Monitor {
  public:
-  explicit CompiledMonitor(CompiledMachine machine);
+  explicit CompiledMonitor(CompiledMachine machine)
+      : CompiledMonitor(std::make_shared<const CompiledMachine>(std::move(machine))) {}
+  // Shares an immutable compiled program (a CompiledSpecCache artifact slot)
+  // across monitor instances: the bytecode, pools, and dispatch table are
+  // read-only after compilation, so N sweep workers can execute the same
+  // machine concurrently while each keeps its own state/slot/stack arrays.
+  explicit CompiledMonitor(std::shared_ptr<const CompiledMachine> machine);
 
   // Step and RunHandler are defined inline (below) so host-side sweep
   // loops that hold a CompiledMonitor by concrete type get the whole VM
@@ -38,14 +46,14 @@ class CompiledMonitor final : public Monitor {
   bool Step(const MonitorEvent& event, MonitorVerdict* verdict) override;
   void HardReset() override;
   void OnPathRestart(PathId path) override;
-  const std::string& label() const override { return machine_.property_label; }
+  const std::string& label() const override { return machine_->property_label; }
   double StepCycles(const CostModel& costs) const override;
   std::size_t FramBytes() const override;
 
   // Test hooks, mirroring InterpretedMonitor's.
-  const std::string& current_state() const { return machine_.state_names[current_]; }
+  const std::string& current_state() const { return machine_->state_names[current_]; }
   double VarValue(const std::string& name) const;
-  const CompiledMachine& machine() const { return machine_; }
+  const CompiledMachine& machine() const { return *machine_; }
 
  private:
   // Runs the handler program at `pc` to completion: tries each inlined
@@ -69,7 +77,7 @@ class CompiledMonitor final : public Monitor {
     return 0.0;
   }
 
-  CompiledMachine machine_;
+  std::shared_ptr<const CompiledMachine> machine_;
   // FRAM-resident execution state: dense state id + variable slots.
   std::uint16_t current_ = 0;
   std::vector<double> slots_;
@@ -83,8 +91,8 @@ class CompiledMonitor final : public Monitor {
 // slower than the switch on the health-app hot loop.
 ARTEMIS_VM_INLINE bool CompiledMonitor::RunHandler(std::uint32_t pc, const MonitorEvent& event,
                                                    MonitorVerdict* verdict) {
-  const Instr* const code = machine_.code.data();
-  const double* const consts = machine_.const_pool.data();
+  const Instr* const code = machine_->code.data();
+  const double* const consts = machine_->const_pool.data();
   double* const slots = slots_.data();
   double* sp = stack_.data();  // points one past the top of stack
   bool failed = false;
@@ -274,7 +282,7 @@ ARTEMIS_VM_INLINE bool CompiledMonitor::RunHandler(std::uint32_t pc, const Monit
       case OpCode::kExtend:
         break;  // Operand word; only reached if jumped over, never dispatched.
       case OpCode::kFail: {
-        const FailRecord& fail = machine_.fail_pool[in.operand];
+        const FailRecord& fail = machine_->fail_pool[in.operand];
         verdict->action = fail.action;
         verdict->target_path = fail.target_path;
         verdict->property = fail.property;
@@ -291,10 +299,10 @@ ARTEMIS_VM_INLINE bool CompiledMonitor::RunHandler(std::uint32_t pc, const Monit
 }
 
 inline bool CompiledMonitor::Step(const MonitorEvent& event, MonitorVerdict* verdict) {
-  if (machine_.path_scope != kNoPath && event.path != machine_.path_scope) {
+  if (machine_->path_scope != kNoPath && event.path != machine_->path_scope) {
     return false;  // Out-of-scope events are invisible to this machine.
   }
-  return RunHandler(machine_.HandlerFor(current_, event.kind, event.task), event, verdict);
+  return RunHandler(machine_->HandlerFor(current_, event.kind, event.task), event, verdict);
 }
 
 }  // namespace artemis

@@ -5,20 +5,20 @@
 namespace artemis {
 
 std::size_t InterpretedMonitor::StateIndex(const std::string& state) const {
-  const auto it = std::find(machine_.states.begin(), machine_.states.end(), state);
-  return it != machine_.states.end()
-             ? static_cast<std::size_t>(it - machine_.states.begin())
+  const auto it = std::find(machine_->states.begin(), machine_->states.end(), state);
+  return it != machine_->states.end()
+             ? static_cast<std::size_t>(it - machine_->states.begin())
              : 0;
 }
 
-InterpretedMonitor::InterpretedMonitor(StateMachine machine)
-    : machine_(std::move(machine)), env_(machine_.variables) {
-  initial_index_ = StateIndex(machine_.initial);
+InterpretedMonitor::InterpretedMonitor(std::shared_ptr<const StateMachine> machine)
+    : machine_(std::move(machine)), env_(machine_->variables) {
+  initial_index_ = StateIndex(machine_->initial);
   current_ = initial_index_;
-  by_state_.resize(machine_.states.size());
-  to_index_.reserve(machine_.transitions.size());
-  for (std::uint32_t i = 0; i < machine_.transitions.size(); ++i) {
-    const Transition& t = machine_.transitions[i];
+  by_state_.resize(machine_->states.size());
+  to_index_.reserve(machine_->transitions.size());
+  for (std::uint32_t i = 0; i < machine_->transitions.size(); ++i) {
+    const Transition& t = machine_->transitions[i];
     by_state_[StateIndex(t.from)].push_back(i);
     to_index_.push_back(StateIndex(t.to));
   }
@@ -26,14 +26,14 @@ InterpretedMonitor::InterpretedMonitor(StateMachine machine)
 
 void InterpretedMonitor::HardReset() {
   current_ = initial_index_;
-  env_ = machine_.variables;
+  env_ = machine_->variables;
 }
 
 void InterpretedMonitor::OnPathRestart(PathId path) {
-  if (!machine_.reset_on_path_restart) {
+  if (!machine_->reset_on_path_restart) {
     return;
   }
-  if (machine_.path_scope != kNoPath && machine_.path_scope != path) {
+  if (machine_->path_scope != kNoPath && machine_->path_scope != path) {
     return;
   }
   current_ = initial_index_;
@@ -54,13 +54,13 @@ bool InterpretedMonitor::TriggerMatches(const Transition& t, const MonitorEvent&
 }
 
 bool InterpretedMonitor::Step(const MonitorEvent& event, MonitorVerdict* verdict) {
-  if (machine_.path_scope != kNoPath && event.path != machine_.path_scope) {
+  if (machine_->path_scope != kNoPath && event.path != machine_->path_scope) {
     return false;  // Out-of-scope events are invisible to this machine.
   }
   // Only transitions leaving the current state are candidates; unrelated
   // states are never scanned.
   for (const std::uint32_t i : by_state_[current_]) {
-    const Transition& t = machine_.transitions[i];
+    const Transition& t = machine_->transitions[i];
     if (!TriggerMatches(t, event)) {
       continue;
     }
@@ -80,7 +80,7 @@ double InterpretedMonitor::StepCycles(const CostModel& costs) const {
 
 std::size_t InterpretedMonitor::FramBytes() const {
   // Current-state word plus one double per machine variable.
-  return sizeof(std::uint16_t) + machine_.variables.size() * sizeof(double);
+  return sizeof(std::uint16_t) + machine_->variables.size() * sizeof(double);
 }
 
 double InterpretedMonitor::VarValue(const std::string& name) const {

@@ -12,7 +12,9 @@
 #define SRC_MONITOR_INTERP_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/ir/state_machine.h"
@@ -22,25 +24,30 @@ namespace artemis {
 
 class InterpretedMonitor final : public Monitor {
  public:
-  explicit InterpretedMonitor(StateMachine machine);
+  explicit InterpretedMonitor(StateMachine machine)
+      : InterpretedMonitor(std::make_shared<const StateMachine>(std::move(machine))) {}
+  // Shares an immutable machine (e.g. one slot of a CompiledSpecCache
+  // artifact) across monitor instances: only the execution state (current
+  // state + variable environment) is per-instance.
+  explicit InterpretedMonitor(std::shared_ptr<const StateMachine> machine);
 
   bool Step(const MonitorEvent& event, MonitorVerdict* verdict) override;
   void HardReset() override;
   void OnPathRestart(PathId path) override;
-  const std::string& label() const override { return machine_.property_label; }
+  const std::string& label() const override { return machine_->property_label; }
   double StepCycles(const CostModel& costs) const override;
   std::size_t FramBytes() const override;
 
   // Test hooks.
-  const std::string& current_state() const { return machine_.states[current_]; }
+  const std::string& current_state() const { return machine_->states[current_]; }
   double VarValue(const std::string& name) const;
-  const StateMachine& machine() const { return machine_; }
+  const StateMachine& machine() const { return *machine_; }
 
  private:
   bool TriggerMatches(const Transition& t, const MonitorEvent& event) const;
   std::size_t StateIndex(const std::string& state) const;
 
-  StateMachine machine_;
+  std::shared_ptr<const StateMachine> machine_;
   // Transition indices leaving each state (index == position of the state
   // in machine_.states), declaration order preserved.
   std::vector<std::vector<std::uint32_t>> by_state_;

@@ -13,6 +13,11 @@
 //                     [--budget <uJ>] [--backend ...]
 //                     [--format jsonl|perfetto|stats] [--out <file>]
 //   artemisc trace diff <a.jsonl> <b.jsonl>
+//   artemisc sweep    [<grid.json>] [--app ...] [--systems a,b] [--spec <file>]
+//                     [--charges continuous,1min,...] [--budgets <uJ>,...]
+//                     [--backends ...] [--timekeepers ...] [--seeds ...]
+//                     [--max-wall <duration>] [--stats] [--jobs N]
+//                     [--format json|csv|table] [--out <file>]
 //
 // `check` runs parse -> validate -> consistency analysis and, with
 // --analyze, the FSM IR static analyzer (src/analysis); `codegen`/`dot` run
@@ -23,7 +28,11 @@
 // Mayfly-style edge-annotation frontend. `trace` runs the app under the
 // observability bus (src/obs) and exports the event stream as deterministic
 // JSONL, a Perfetto-loadable Chrome trace, or an aggregate report; `trace
-// diff` compares two JSONL traces line by line (docs/tracing.md).
+// diff` compares two JSONL traces line by line (docs/tracing.md). `sweep`
+// expands a declarative grid of independent simulations (from a grid JSON
+// file and/or axis flags) and executes it on the parallel deterministic
+// sweep engine (src/sweep, docs/sweep.md): output bytes are identical for
+// any --jobs value.
 //
 // Exit codes: 0 = clean, 1 = findings / failures, 2 = usage or I/O error.
 #include <algorithm>
@@ -57,6 +66,7 @@
 #include "src/spec/mayfly_frontend.h"
 #include "src/spec/parser.h"
 #include "src/spec/validator.h"
+#include "src/sweep/sweep.h"
 
 namespace artemis {
 namespace {
@@ -86,6 +96,11 @@ int Usage() {
                "           [--budget <uJ>] [--backend ...]\n"
                "           [--format jsonl|perfetto|stats] [--out <file>]\n"
                "  trace diff <a.jsonl> <b.jsonl>\n"
+               "  sweep    [<grid.json>] [--app ...] [--systems a,b] [--spec <file>]\n"
+               "           [--charges continuous,1min,...] [--budgets <uJ>,...]\n"
+               "           [--backends ...] [--timekeepers ...] [--seeds ...]\n"
+               "           [--max-wall <duration>] [--stats] [--jobs N]\n"
+               "           [--format json|csv|table] [--out <file>]\n"
                "exit codes: 0 = clean, 1 = findings or failures, 2 = usage/IO error\n");
   return kExitUsage;
 }
@@ -123,6 +138,18 @@ struct Args {
   std::string out_path;           // --out; empty = stdout
   std::string diff_left;          // trace diff operands
   std::string diff_right;
+  // sweep command only. Comma-separated axis lists; empty = keep the grid
+  // file's (or the engine's) defaults.
+  std::string grid_path;
+  std::string sweep_systems;
+  std::string sweep_charges;
+  std::string sweep_budgets;
+  std::string sweep_backends;
+  std::string sweep_timekeepers;
+  std::string sweep_seeds;
+  std::string sweep_max_wall;
+  bool sweep_stats = false;
+  int jobs = 1;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -144,6 +171,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->diff_right = argv[i++];
     } else if (i < argc && argv[i][0] != '-') {
       args->spec_path = argv[i++];
+    }
+  } else if (args->command == "sweep") {
+    if (i < argc && argv[i][0] != '-') {
+      args->grid_path = argv[i++];
     }
   } else if (args->command != "simulate" && args->command != "profile") {
     if (i >= argc) {
@@ -259,6 +290,57 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->immortal = false;
     } else if (flag == "--trace") {
       args->trace = true;
+    } else if (flag == "--jobs") {
+      const char* value = next();
+      if (value == nullptr || std::atoi(value) < 1) {
+        std::fprintf(stderr, "artemisc: --jobs wants a positive integer\n");
+        return false;
+      }
+      args->jobs = std::atoi(value);
+    } else if (flag == "--systems") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args->sweep_systems = value;
+    } else if (flag == "--charges") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args->sweep_charges = value;
+    } else if (flag == "--budgets") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args->sweep_budgets = value;
+    } else if (flag == "--backends") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args->sweep_backends = value;
+    } else if (flag == "--timekeepers") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args->sweep_timekeepers = value;
+    } else if (flag == "--seeds") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args->sweep_seeds = value;
+    } else if (flag == "--max-wall") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args->sweep_max_wall = value;
+    } else if (flag == "--stats") {
+      args->sweep_stats = true;
     } else {
       std::fprintf(stderr, "artemisc: unknown flag '%s'\n", flag.c_str());
       return false;
@@ -679,6 +761,135 @@ int RunTraceDiff(const Args& args) {
   return result.identical() ? kExitClean : kExitFindings;
 }
 
+std::vector<std::string> SplitCommaList(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const char c : text) {
+    if (c == ',') {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+int RunSweepCmd(const Args& args) {
+  sweep::SweepSpec grid;
+  if (!args.grid_path.empty()) {
+    const std::optional<std::string> source = ReadFile(args.grid_path);
+    if (!source.has_value()) {
+      std::fprintf(stderr, "artemisc: cannot read '%s'\n", args.grid_path.c_str());
+      return kExitUsage;
+    }
+    StatusOr<sweep::SweepSpec> parsed =
+        sweep::ParseGridJson(*source, [](const std::string& path) -> StatusOr<std::string> {
+          const std::optional<std::string> text = ReadFile(path);
+          if (!text.has_value()) {
+            return Status::Invalid("sweep grid: cannot read spec file '" + path + "'");
+          }
+          return *text;
+        });
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "artemisc: %s\n", parsed.status().ToString().c_str());
+      return kExitUsage;
+    }
+    grid = std::move(parsed).value();
+  }
+
+  // Axis flags override the grid file (and the engine defaults).
+  if (args.app != "health" || args.grid_path.empty()) {
+    grid.app = args.app;
+  }
+  if (!args.spec_path.empty()) {
+    const std::optional<std::string> text = ReadFile(args.spec_path);
+    if (!text.has_value()) {
+      std::fprintf(stderr, "artemisc: cannot read '%s'\n", args.spec_path.c_str());
+      return kExitUsage;
+    }
+    grid.specs = {{args.spec_path, *text}};
+  }
+  if (!args.sweep_systems.empty()) {
+    grid.systems = SplitCommaList(args.sweep_systems);
+  }
+  if (!args.sweep_backends.empty()) {
+    grid.backends = SplitCommaList(args.sweep_backends);
+  }
+  if (!args.sweep_timekeepers.empty()) {
+    grid.timekeepers = SplitCommaList(args.sweep_timekeepers);
+  }
+  if (!args.sweep_charges.empty()) {
+    grid.charges.clear();
+    for (const std::string& schedule : SplitCommaList(args.sweep_charges)) {
+      StatusOr<SimDuration> charge = sweep::ParseChargeSchedule(schedule);
+      if (!charge.ok()) {
+        std::fprintf(stderr, "artemisc: %s\n", charge.status().ToString().c_str());
+        return kExitUsage;
+      }
+      grid.charges.push_back(charge.value());
+    }
+  }
+  if (!args.sweep_budgets.empty()) {
+    grid.budgets.clear();
+    for (const std::string& budget : SplitCommaList(args.sweep_budgets)) {
+      grid.budgets.push_back(std::atof(budget.c_str()));
+    }
+  }
+  if (!args.sweep_seeds.empty()) {
+    grid.seeds.clear();
+    for (const std::string& seed : SplitCommaList(args.sweep_seeds)) {
+      grid.seeds.push_back(static_cast<std::uint64_t>(std::atoll(seed.c_str())));
+    }
+  }
+  if (!args.sweep_max_wall.empty()) {
+    const std::optional<SimDuration> wall = ParseDuration(args.sweep_max_wall);
+    if (!wall.has_value()) {
+      std::fprintf(stderr, "artemisc: bad duration '%s'\n", args.sweep_max_wall.c_str());
+      return kExitUsage;
+    }
+    grid.max_wall = *wall;
+  }
+  if (args.sweep_stats) {
+    grid.collect_stats = true;
+  }
+
+  StatusOr<sweep::SweepOutcome> outcome = sweep::RunSweep(grid, args.jobs);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "artemisc: %s\n", outcome.status().ToString().c_str());
+    return kExitUsage;
+  }
+
+  std::string rendered;
+  if (args.format == "json") {
+    rendered = sweep::RenderJson(grid, outcome.value());
+  } else if (args.format == "csv") {
+    rendered = sweep::RenderCsv(outcome.value());
+  } else if (args.format == "table" || args.format == "jsonl") {
+    // "jsonl" is the Args default (for trace); sweep's default is the table.
+    rendered = sweep::RenderTable(outcome.value());
+  } else {
+    std::fprintf(stderr, "artemisc: unknown sweep format '%s' (json|csv|table)\n",
+                 args.format.c_str());
+    return kExitUsage;
+  }
+
+  if (args.out_path.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+  } else {
+    std::ofstream out(args.out_path);
+    if (!out) {
+      std::fprintf(stderr, "artemisc: cannot write '%s'\n", args.out_path.c_str());
+      return kExitUsage;
+    }
+    out << rendered;
+  }
+  // A point that failed setup is a finding, not a usage error: the sweep
+  // itself executed and the row carries the diagnosis.
+  return outcome.value().AllOk() ? kExitClean : kExitFindings;
+}
+
 int Main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) {
@@ -686,6 +897,9 @@ int Main(int argc, char** argv) {
   }
   if (args.command == "simulate") {
     return RunSimulate(args);
+  }
+  if (args.command == "sweep") {
+    return RunSweepCmd(args);
   }
   if (args.command == "profile") {
     return RunProfile(args);

@@ -11,24 +11,30 @@
 #      (checked with `artemisc trace diff`).
 #   5. Docs link check: every relative .md link in README.md, DESIGN.md,
 #      EXPERIMENTS.md, and docs/ must resolve to an existing file.
+#   6. Sweep determinism smoke: `artemisc sweep` over a small grid must
+#      produce byte-identical JSON for --jobs 1 and --jobs 4, with exit 0.
+#   7. ThreadSanitizer build + tier-1 ctest suite, via
+#      tools/run_tsan_tests.sh (races in the sweep engine's thread pool and
+#      the compiled-spec cache).
 #
-# Usage: tools/ci.sh [release-build-dir [sanitize-build-dir]]
-#        (defaults: build-ci, build-sanitize)
+# Usage: tools/ci.sh [release-build-dir [sanitize-build-dir [tsan-build-dir]]]
+#        (defaults: build-ci, build-sanitize, build-tsan)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 release_dir="${1:-${repo_root}/build-ci}"
 sanitize_dir="${2:-${repo_root}/build-sanitize}"
+tsan_dir="${3:-${repo_root}/build-tsan}"
 
-echo "== [1/5] Release build + tests =="
+echo "== [1/7] Release build + tests =="
 cmake -B "${release_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${release_dir}" -j "$(nproc)"
 ctest --test-dir "${release_dir}" --output-on-failure
 
-echo "== [2/5] Sanitized build + tests =="
+echo "== [2/7] Sanitized build + tests =="
 "${repo_root}/tools/run_sanitized_tests.sh" "${sanitize_dir}"
 
-echo "== [3/5] Static analysis over example specs =="
+echo "== [3/7] Static analysis over example specs =="
 artemisc="${release_dir}/tools/artemisc"
 
 check_clean() {
@@ -65,7 +71,7 @@ check_dirty "bad/dead_state.prop" ART001 "${specs}/bad/dead_state.prop" --app he
 check_dirty "bad/unsat_guard.prop" ART003 "${specs}/bad/unsat_guard.prop" --app health
 check_dirty "bad/overlap.prop" ART005 "${specs}/bad/overlap.prop" --app health
 
-echo "== [4/5] Golden-trace regression =="
+echo "== [4/7] Golden-trace regression =="
 # The exported observability stream is deterministic: a fresh run of the
 # canonical scenario must reproduce the checked-in golden byte-for-byte.
 trace_tmp="$(mktemp /tmp/artemis_trace.XXXXXX.jsonl)"
@@ -80,7 +86,7 @@ if ! "${artemisc}" trace diff "${repo_root}/tests/golden/trace/health_6min.jsonl
 fi
 echo "ok: health 6min trace matches the golden"
 
-echo "== [5/5] Docs link check =="
+echo "== [5/7] Docs link check =="
 # Every relative .md link in the top-level docs and docs/ must resolve.
 # Matches [text](path.md) and [text](path.md#anchor); external http(s)
 # links are skipped.
@@ -105,5 +111,24 @@ if [[ "${link_errors}" -ne 0 ]]; then
   exit 1
 fi
 echo "ok: all relative .md links resolve"
+
+echo "== [6/7] Sweep determinism smoke =="
+# The parallel sweep engine's export must not depend on the worker count.
+sweep_j1="$(mktemp /tmp/artemis_sweep_j1.XXXXXX.json)"
+sweep_j4="$(mktemp /tmp/artemis_sweep_j4.XXXXXX.json)"
+trap 'rm -f "${trace_tmp}" "${sweep_j1}" "${sweep_j4}"' EXIT
+"${artemisc}" sweep "${repo_root}/examples/sweeps/smoke.json" \
+  --jobs 1 --format json --out "${sweep_j1}"
+"${artemisc}" sweep "${repo_root}/examples/sweeps/smoke.json" \
+  --jobs 4 --format json --out "${sweep_j4}"
+if ! diff -q "${sweep_j1}" "${sweep_j4}" > /dev/null; then
+  echo "CI FAIL: sweep JSON differs between --jobs 1 and --jobs 4" >&2
+  diff "${sweep_j1}" "${sweep_j4}" >&2 || true
+  exit 1
+fi
+echo "ok: sweep JSON is byte-identical for --jobs 1 and --jobs 4"
+
+echo "== [7/7] ThreadSanitizer build + tests =="
+"${repo_root}/tools/run_tsan_tests.sh" "${tsan_dir}"
 
 echo "CI: all stages passed"

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds the tree with CMAKE_BUILD_TYPE=Tsan (ThreadSanitizer, see the
+# top-level CMakeLists.txt) and runs the tier-1 ctest suite under it.
+# Exercises the sweep engine's thread pool — concurrent workers sharing one
+# CompiledSpecCache, aliased shared_ptr machine artifacts, atomic work-queue
+# claiming — under race detection. TSan cannot be combined with ASan/UBSan,
+# so this is a separate build tree from tools/run_sanitized_tests.sh.
+#
+# Usage: tools/run_tsan_tests.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-tsan}"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Tsan
+cmake --build "${build_dir}" -j "$(nproc)"
+
+# halt_on_error so a race report fails the test that triggered it.
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+
+ctest --test-dir "${build_dir}" --output-on-failure
