@@ -20,6 +20,10 @@ ArtemisRuntime::ArtemisRuntime(const AppGraph* graph, SpecAst spec, Mcu* mcu,
     monitors_->set_observer(config.observer);
     mcu_->set_observer(config.observer);
   }
+  if (config.flight != nullptr) {
+    kernel_options.flight = config.flight;
+    monitors_->set_flight(config.flight);
+  }
   kernel_ = std::make_unique<IntermittentKernel>(graph_, monitors_.get(), mcu_, kernel_options);
 }
 

@@ -35,6 +35,11 @@ struct ArtemisConfig {
   // monitor set all publish into it (docs/tracing.md). Equivalent to setting
   // kernel.observer plus MonitorSet/Mcu::set_observer by hand.
   obs::EventBus* observer = nullptr;
+  // On-device flight recorder (src/flight, docs/forensics.md): when set, the
+  // kernel and monitor set seal records into it. The caller must have
+  // attached the recorder to the MCU first (Mcu::AttachFlightRecorder), which
+  // registers the ring with the NVM arena and makes appends chargeable.
+  flight::FlightRecorder* flight = nullptr;
 };
 
 class ArtemisRuntime {

@@ -1,0 +1,49 @@
+#include "src/flight/decoder.h"
+
+#include <cstddef>
+
+namespace artemis::flight {
+
+StatusOr<std::vector<FlightRecord>> DecodeRing(const RingImage& image) {
+  const std::size_t cap = image.bytes.size();
+  if (cap == 0) {
+    return std::vector<FlightRecord>{};
+  }
+  if (image.head >= cap) {
+    return Status::Invalid("flight ring: head " + std::to_string(image.head) +
+                           " outside capacity " + std::to_string(cap));
+  }
+  std::vector<FlightRecord> records;
+  std::size_t pos = image.head;
+  std::size_t consumed = 0;
+  SimTime base = image.head_base_time;
+  while (consumed < cap) {
+    const std::uint8_t len = image.bytes[pos];
+    if (len == 0) {
+      return records;  // live terminator: end of sealed log
+    }
+    if (consumed + 1 + len > cap) {
+      return Status::Invalid("flight ring: record at offset " + std::to_string(pos) +
+                             " of length " + std::to_string(len) +
+                             " overruns the ring");
+    }
+    std::vector<std::uint8_t> payload(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      payload[i] = image.bytes[(pos + 1 + i) % cap];
+    }
+    FlightRecord record;
+    if (!DecodePayload(payload.data(), payload.size(), base, &record)) {
+      return Status::Invalid("flight ring: malformed payload at offset " +
+                             std::to_string(pos));
+    }
+    base = record.time;
+    records.push_back(record);
+    consumed += 1 + len;
+    pos = (pos + 1 + len) % cap;
+  }
+  // Every byte sealed and no terminator: cannot happen under the recorder's
+  // reserve phase, which always keeps a terminator byte free.
+  return Status::Invalid("flight ring: no terminator found");
+}
+
+}  // namespace artemis::flight

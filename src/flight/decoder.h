@@ -1,0 +1,26 @@
+// Host-side decoder for the flight-recorder ring (src/flight/recorder.h).
+//
+// Walks sealed records from the head until the first 0 length byte (the
+// live terminator) and reconstructs absolute timestamps from the zigzag
+// deltas. On a crash-truncated ring this always terminates cleanly at the
+// terminator; a decode error therefore indicates real corruption and the
+// torture test asserts it never happens under the two-phase commit.
+#ifndef SRC_FLIGHT_DECODER_H_
+#define SRC_FLIGHT_DECODER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/flight/record.h"
+#include "src/flight/recorder.h"
+
+namespace artemis::flight {
+
+// Decodes every sealed record in `image`, oldest first. Returns an error
+// Status naming the byte offset on malformed payloads.
+StatusOr<std::vector<FlightRecord>> DecodeRing(const RingImage& image);
+
+}  // namespace artemis::flight
+
+#endif  // SRC_FLIGHT_DECODER_H_

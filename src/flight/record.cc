@@ -1,0 +1,184 @@
+#include "src/flight/record.h"
+
+namespace artemis::flight {
+
+const char* RecordKindName(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kBoot:
+      return "boot";
+    case RecordKind::kTaskStart:
+      return "task-start";
+    case RecordKind::kTaskEnd:
+      return "task-end";
+    case RecordKind::kCommit:
+      return "commit";
+    case RecordKind::kVerdict:
+      return "verdict";
+    case RecordKind::kChargeSnapshot:
+      return "charge-snapshot";
+  }
+  return "unknown";
+}
+
+bool IsValidRecordKind(std::uint8_t value) {
+  return value >= static_cast<std::uint8_t>(RecordKind::kBoot) &&
+         value <= static_cast<std::uint8_t>(RecordKind::kChargeSnapshot);
+}
+
+void PutVarint(std::vector<std::uint8_t>* out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(value));
+}
+
+bool GetVarint(const std::uint8_t* data, std::size_t size, std::size_t* pos,
+               std::uint64_t* out) {
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*pos >= size) {
+      return false;  // truncated
+    }
+    const std::uint8_t byte = data[(*pos)++];
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = value;
+      return true;
+    }
+  }
+  return false;  // overlong: more than 10 continuation bytes
+}
+
+std::uint64_t ZigZagEncode(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t ZigZagDecode(std::uint64_t value) {
+  return static_cast<std::int64_t>(value >> 1) ^ -static_cast<std::int64_t>(value & 1);
+}
+
+std::vector<std::uint8_t> EncodePayload(const FlightRecord& record, SimTime last_time) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(record.kind));
+  const std::uint64_t delta =
+      ZigZagEncode(static_cast<std::int64_t>(record.time) -
+                   static_cast<std::int64_t>(last_time));
+  switch (record.kind) {
+    case RecordKind::kBoot:
+      PutVarint(&out, record.epoch);
+      PutVarint(&out, static_cast<std::uint64_t>(record.time));
+      break;
+    case RecordKind::kTaskStart:
+      PutVarint(&out, delta);
+      PutVarint(&out, record.seq);
+      PutVarint(&out, record.task);
+      PutVarint(&out, record.path);
+      PutVarint(&out, record.attempt);
+      break;
+    case RecordKind::kTaskEnd:
+      PutVarint(&out, delta);
+      PutVarint(&out, record.seq);
+      PutVarint(&out, record.task);
+      PutVarint(&out, record.path);
+      break;
+    case RecordKind::kCommit:
+      PutVarint(&out, delta);
+      PutVarint(&out, record.seq);
+      PutVarint(&out, record.task);
+      PutVarint(&out, record.bytes);
+      break;
+    case RecordKind::kVerdict:
+      PutVarint(&out, delta);
+      PutVarint(&out, record.seq);
+      PutVarint(&out, record.task);
+      PutVarint(&out, record.action);
+      PutVarint(&out, record.target_path);
+      break;
+    case RecordKind::kChargeSnapshot:
+      PutVarint(&out, delta);
+      PutVarint(&out, record.epoch);
+      PutVarint(&out, record.fraction_milli);
+      break;
+  }
+  return out;
+}
+
+namespace {
+
+bool GetU32(const std::uint8_t* data, std::size_t size, std::size_t* pos,
+            std::uint32_t* out) {
+  std::uint64_t wide = 0;
+  if (!GetVarint(data, size, pos, &wide) || wide > 0xffffffffULL) {
+    return false;
+  }
+  *out = static_cast<std::uint32_t>(wide);
+  return true;
+}
+
+}  // namespace
+
+bool DecodePayload(const std::uint8_t* data, std::size_t size, SimTime last_time,
+                   FlightRecord* record) {
+  if (size == 0 || !IsValidRecordKind(data[0])) {
+    return false;
+  }
+  *record = FlightRecord{};
+  record->kind = static_cast<RecordKind>(data[0]);
+  std::size_t pos = 1;
+  std::uint64_t delta = 0;
+  if (record->kind != RecordKind::kBoot) {
+    if (!GetVarint(data, size, &pos, &delta)) {
+      return false;
+    }
+    record->time = static_cast<SimTime>(static_cast<std::int64_t>(last_time) +
+                                        ZigZagDecode(delta));
+  }
+  bool ok = false;
+  switch (record->kind) {
+    case RecordKind::kBoot: {
+      std::uint64_t abs_time = 0;
+      ok = GetU32(data, size, &pos, &record->epoch) &&
+           GetVarint(data, size, &pos, &abs_time);
+      record->time = static_cast<SimTime>(abs_time);
+      break;
+    }
+    case RecordKind::kTaskStart:
+      ok = GetVarint(data, size, &pos, &record->seq) &&
+           GetU32(data, size, &pos, &record->task) &&
+           GetU32(data, size, &pos, &record->path) &&
+           GetU32(data, size, &pos, &record->attempt);
+      break;
+    case RecordKind::kTaskEnd:
+      ok = GetVarint(data, size, &pos, &record->seq) &&
+           GetU32(data, size, &pos, &record->task) &&
+           GetU32(data, size, &pos, &record->path);
+      break;
+    case RecordKind::kCommit:
+      ok = GetVarint(data, size, &pos, &record->seq) &&
+           GetU32(data, size, &pos, &record->task) &&
+           GetVarint(data, size, &pos, &record->bytes);
+      break;
+    case RecordKind::kVerdict: {
+      std::uint32_t action = 0;
+      ok = GetVarint(data, size, &pos, &record->seq) &&
+           GetU32(data, size, &pos, &record->task) &&
+           GetU32(data, size, &pos, &action) &&
+           GetU32(data, size, &pos, &record->target_path);
+      if (ok && action > 0xff) {
+        return false;
+      }
+      record->action = static_cast<std::uint8_t>(action);
+      break;
+    }
+    case RecordKind::kChargeSnapshot:
+      ok = GetU32(data, size, &pos, &record->epoch) &&
+           GetU32(data, size, &pos, &record->fraction_milli);
+      break;
+  }
+  // A sealed payload is consumed exactly; trailing bytes mean corruption.
+  return ok && pos == size;
+}
+
+}  // namespace artemis::flight

@@ -1,0 +1,205 @@
+#include "src/flight/recorder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace artemis::flight {
+
+const char* FlightLevelName(FlightLevel level) {
+  switch (level) {
+    case FlightLevel::kOff:
+      return "off";
+    case FlightLevel::kVerdictsOnly:
+      return "verdicts";
+    case FlightLevel::kFull:
+      return "full";
+  }
+  return "unknown";
+}
+
+bool ParseFlightLevel(const std::string& text, FlightLevel* out) {
+  if (text == "off") {
+    *out = FlightLevel::kOff;
+  } else if (text == "verdicts" || text == "verdicts-only") {
+    *out = FlightLevel::kVerdictsOnly;
+  } else if (text == "full") {
+    *out = FlightLevel::kFull;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity, FlightLevel level)
+    : ring_(std::max(capacity, kMinCapacityBytes), 0), level_(level) {}
+
+bool FlightRecorder::AppendBoot() {
+  if (level_ == FlightLevel::kOff || boot_recorded()) {
+    return true;
+  }
+  FlightRecord r;
+  r.kind = RecordKind::kBoot;
+  r.epoch = epoch_;
+  r.time = port_->DeviceNow();
+  const std::uint64_t sealed_before = stats_.records_sealed;
+  const bool ok = Append(r);
+  if (ok && stats_.records_sealed > sealed_before) {
+    boot_epoch_sealed_ = epoch_;
+  }
+  return ok;
+}
+
+bool FlightRecorder::AppendTaskStart(std::uint64_t seq, std::uint32_t task,
+                                     std::uint32_t path, std::uint32_t attempt) {
+  if (level_ != FlightLevel::kFull) {
+    return true;
+  }
+  FlightRecord r;
+  r.kind = RecordKind::kTaskStart;
+  r.time = port_->DeviceNow();
+  r.seq = seq;
+  r.task = task;
+  r.path = path;
+  r.attempt = attempt;
+  return Append(r);
+}
+
+bool FlightRecorder::AppendTaskEnd(std::uint64_t seq, std::uint32_t task,
+                                   std::uint32_t path) {
+  if (level_ != FlightLevel::kFull) {
+    return true;
+  }
+  FlightRecord r;
+  r.kind = RecordKind::kTaskEnd;
+  r.time = port_->DeviceNow();
+  r.seq = seq;
+  r.task = task;
+  r.path = path;
+  return Append(r);
+}
+
+bool FlightRecorder::AppendCommit(std::uint64_t seq, std::uint32_t task,
+                                  std::uint64_t bytes) {
+  if (level_ != FlightLevel::kFull) {
+    return true;
+  }
+  FlightRecord r;
+  r.kind = RecordKind::kCommit;
+  r.time = port_->DeviceNow();
+  r.seq = seq;
+  r.task = task;
+  r.bytes = bytes;
+  return Append(r);
+}
+
+bool FlightRecorder::AppendVerdict(std::uint64_t seq, std::uint32_t task,
+                                   std::uint8_t action, std::uint32_t target_path) {
+  if (level_ == FlightLevel::kOff) {
+    return true;
+  }
+  FlightRecord r;
+  r.kind = RecordKind::kVerdict;
+  r.time = port_->DeviceNow();
+  r.seq = seq;
+  r.task = task;
+  r.action = action;
+  r.target_path = target_path;
+  return Append(r);
+}
+
+bool FlightRecorder::AppendChargeSnapshot(double fraction) {
+  if (level_ != FlightLevel::kFull) {
+    return true;
+  }
+  FlightRecord r;
+  r.kind = RecordKind::kChargeSnapshot;
+  r.time = port_->DeviceNow();
+  r.epoch = epoch_;
+  const double clamped = std::min(1.0, std::max(0.0, fraction));
+  r.fraction_milli = static_cast<std::uint32_t>(std::lround(clamped * 1000.0));
+  return Append(r);
+}
+
+bool FlightRecorder::EvictOldest() {
+  // The head record is sealed by invariant, so this decode cannot fail; it
+  // advances the decoder's time base past the record being overwritten.
+  const std::size_t cap = ring_.size();
+  const std::uint8_t len = ring_[head_];
+  std::vector<std::uint8_t> payload(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    payload[i] = ring_[(head_ + 1 + i) % cap];
+  }
+  FlightRecord evicted;
+  if (DecodePayload(payload.data(), payload.size(), head_base_time_, &evicted)) {
+    head_base_time_ = evicted.time;
+  }
+  head_ = static_cast<std::uint32_t>((head_ + 1 + len) % cap);
+  used_ -= 1 + static_cast<std::size_t>(len);
+  ++stats_.records_evicted;
+  return port_->ChargeControlWrite();
+}
+
+bool FlightRecorder::Append(const FlightRecord& record) {
+  // Phase 0: build. The encode itself costs CPU cycles; if power dies here,
+  // nothing was written and the ring is untouched.
+  if (!port_->ChargeRecordBuild()) {
+    ++stats_.appends_aborted;
+    return false;
+  }
+  const std::vector<std::uint8_t> payload = EncodePayload(record, last_time_);
+  const std::size_t n = payload.size();
+  const std::size_t cap = ring_.size();
+  ++stats_.appends_attempted;
+  // A record needs its seal byte, payload, and the next terminator.
+  if (n > kMaxPayloadBytes || n + 2 > cap) {
+    ++stats_.records_dropped;
+    return true;
+  }
+  // Phase 1: reserve. Evict sealed records until the new one fits. Each
+  // eviction leaves head_/used_ consistent, so a mid-reservation crash just
+  // means some old records were reclaimed for nothing.
+  while (cap - used_ < n + 2) {
+    if (!EvictOldest()) {
+      ++stats_.appends_aborted;
+      return false;
+    }
+  }
+  // Phase 2: payload. tail_ holds the live 0 terminator; the payload goes
+  // after it, followed by the record's own terminator. Each byte is charged
+  // before it is written: an interrupted charge = the byte never landed.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!port_->ChargeWriteByte()) {
+      ++stats_.appends_aborted;
+      return false;
+    }
+    ring_[(tail_ + 1 + i) % cap] = payload[i];
+  }
+  if (!port_->ChargeWriteByte()) {
+    ++stats_.appends_aborted;
+    return false;
+  }
+  ring_[(tail_ + 1 + n) % cap] = 0;
+  // Phase 3: seal. A single byte write over the old terminator publishes the
+  // record; everything before this point is invisible to the decoder.
+  if (!port_->ChargeWriteByte()) {
+    ++stats_.appends_aborted;
+    return false;
+  }
+  ring_[tail_] = static_cast<std::uint8_t>(n);
+  tail_ = static_cast<std::uint32_t>((tail_ + 1 + n) % cap);
+  used_ += 1 + n;
+  last_time_ = record.time;
+  ++stats_.records_sealed;
+  stats_.bytes_sealed += 1 + n;
+  return true;
+}
+
+RingImage FlightRecorder::Image() const {
+  RingImage image;
+  image.bytes = ring_;
+  image.head = head_;
+  image.head_base_time = head_base_time_;
+  return image;
+}
+
+}  // namespace artemis::flight

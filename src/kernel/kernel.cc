@@ -109,6 +109,14 @@ KernelRunResult IntermittentKernel::Run() {
   checker_->HardReset(*mcu_);
   Trace(TraceKind::kBoot, kInvalidTask);
   Trace(TraceKind::kPathStart, current_task());
+  if (options_.flight != nullptr) {
+    // Black-box epoch 0 (the first power life). A failure here simply means
+    // the run opened with a reboot before any task executed.
+    if (options_.flight->AppendBoot() && options_.flight->boot_recorded()) {
+      (void)options_.flight->AppendChargeSnapshot(
+          mcu_->power_model().StoredEnergyFraction());
+    }
+  }
 
   std::uint64_t steps = 0;
   while (!app_complete_) {
@@ -229,6 +237,15 @@ ExecStatus IntermittentKernel::HandleReady(TaskId task) {
   if (ToExecStatus(outcome.status) != ExecStatus::kOk) {
     return ToExecStatus(outcome.status);
   }
+  // Seal the boundary record while the event is still pending: if the append
+  // is interrupted, the reboot replays this boundary with the same seq (the
+  // checker's verdict cache answers instantly) and retries the append.
+  if (options_.flight != nullptr &&
+      !options_.flight->AppendTaskStart(event_.seq, task,
+                                        static_cast<std::uint32_t>(path_idx_ + 1),
+                                        cur_attempts_ + 1)) {
+    return ExecStatus::kPowerFailure;
+  }
   event_pending_ = false;  // Verdict obtained; the event is retired.
   ++cur_attempts_;
   Trace(TraceKind::kTaskStart, task);
@@ -280,6 +297,13 @@ ExecStatus IntermittentKernel::CommitTask(TaskId task, TaskContext& ctx) {
   ++profiles_[task].commits;
   cur_status_ = TaskStatus::kFinished;
   PublishCommit(task, bytes);
+  // The commit itself is already durable; the record is best-effort. An
+  // interrupted append is not retried after the reboot (the kernel resumes
+  // in kFinished), so a lost commit record just leaves a gap in the log.
+  if (options_.flight != nullptr &&
+      !options_.flight->AppendCommit(event_seq_, task, bytes)) {
+    return ExecStatus::kPowerFailure;
+  }
   return ExecStatus::kOk;
 }
 
@@ -295,6 +319,11 @@ ExecStatus IntermittentKernel::HandleFinished(TaskId task) {
   const CheckOutcome outcome = checker_->OnEvent(event_, *mcu_);
   if (ToExecStatus(outcome.status) != ExecStatus::kOk) {
     return ToExecStatus(outcome.status);
+  }
+  if (options_.flight != nullptr &&
+      !options_.flight->AppendTaskEnd(event_.seq, task,
+                                      static_cast<std::uint32_t>(path_idx_ + 1))) {
+    return ExecStatus::kPowerFailure;
   }
   event_pending_ = false;
   Trace(TraceKind::kTaskEnd, task);

@@ -28,6 +28,7 @@
 #include "src/kernel/app_graph.h"
 #include "src/kernel/channel.h"
 #include "src/kernel/checker.h"
+#include "src/flight/recorder.h"
 #include "src/kernel/trace.h"
 #include "src/obs/bus.h"
 #include "src/sim/mcu.h"
@@ -53,6 +54,12 @@ struct KernelOptions {
   // task/path lifecycle and checkpoint-commit events, independent of
   // record_trace. nullptr = publishing off (a single null check per site).
   obs::EventBus* observer = nullptr;
+  // On-device flight recorder (src/flight): when set, the kernel seals
+  // task-boundary and commit records into the FRAM black box. Unlike the
+  // obs bus this costs simulated cycles and can itself be interrupted by a
+  // power failure; the recorder must already be attached to the MCU
+  // (Mcu::AttachFlightRecorder). nullptr = recording off.
+  flight::FlightRecorder* flight = nullptr;
 };
 
 // Per-task execution profile (the Section 5.1 measurement that identifies

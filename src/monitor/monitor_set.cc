@@ -180,6 +180,17 @@ CheckOutcome MonitorSet::OnEvent(const MonitorEvent& event, Mcu& mcu) {
     }
     obs_->Publish(out);
   }
+  // Black-box the violation before retiring the event: the continuation
+  // cursor is still at the end and the verdict cache is not yet written, so
+  // if the append dies the re-delivered event re-arbitrates the same verdict
+  // from the persisted pending_ set and retries the append.
+  if (flight_ != nullptr && verdict.violated() &&
+      !flight_->AppendVerdict(event.seq, event.task,
+                              static_cast<std::uint8_t>(verdict.action),
+                              verdict.target_path)) {
+    outcome.status = static_cast<int>(ExecStatus::kPowerFailure);
+    return outcome;
+  }
   pending_.clear();
   continuation_.Finish();
   done_seq_ = event.seq;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/flight/recorder.h"
 #include "src/ir/lowering.h"
 #include "src/kernel/app_graph.h"
 #include "src/kernel/checker.h"
@@ -98,6 +99,11 @@ class MonitorSet : public PropertyChecker {
   // cost), and path-reset propagation. nullptr = off.
   void set_observer(obs::EventBus* bus) { obs_ = bus; }
 
+  // On-device flight recorder (src/flight): when set, violated verdicts are
+  // sealed into the FRAM black box before the verdict cache is written, so
+  // an interrupted append replays the whole arbitration and retries.
+  void set_flight(flight::FlightRecorder* recorder) { flight_ = recorder; }
+
   // .text proxy when the monitors are inlined at every event site instead of
   // generated once: the per-machine code duplicates per call site
   // (Section 6's memory-footprint argument against AOP-style weaving).
@@ -110,6 +116,7 @@ class MonitorSet : public PropertyChecker {
   RadioProfile radio_;
   std::vector<std::unique_ptr<Monitor>> monitors_;
   obs::EventBus* obs_ = nullptr;
+  flight::FlightRecorder* flight_ = nullptr;
 
   // ---- FRAM-resident progress state (ImmortalThreads-backed) ----
   ImmortalContext continuation_{nullptr, MemOwner::kMonitor, "monitor-continuation"};

@@ -44,6 +44,16 @@ struct CostModel {
   std::uint32_t reboot_restore_cycles = 1400;
   // Committing one task's outputs to NVM, per byte.
   double nvm_commit_cycles_per_byte = 0.5;
+  // Flight recorder (src/flight): encoding one record into its varint
+  // payload.
+  std::uint32_t flight_record_build_cycles = 34;
+  // Flight recorder: one FRAM byte write including the ring-pointer
+  // arithmetic around it. FRAM writes are slower than the bulk commit path,
+  // which batches word writes.
+  double flight_nvm_write_cycles_per_byte = 4.0;
+  // Flight recorder: a control-word update (head advance per evicted
+  // record).
+  std::uint32_t flight_control_write_cycles = 6;
 
   // --- .text size proxy (bytes) -----------------------------------------
   std::size_t text_kernel_base = 980;          // task executor shared by both systems

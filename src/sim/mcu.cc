@@ -14,6 +14,8 @@ const char* CostTagName(CostTag tag) {
       return "monitor";
     case CostTag::kReboot:
       return "reboot";
+    case CostTag::kFlight:
+      return "flight";
   }
   return "?";
 }
@@ -44,6 +46,39 @@ SimTime Mcu::ReadClock(CostTag tag) {
   return clock_.Read();
 }
 
+Status Mcu::AttachFlightRecorder(flight::FlightRecorder* recorder) {
+  if (recorder == nullptr) {
+    flight_ = nullptr;
+    return Status::Ok();
+  }
+  // Ring bytes plus the persistent control words (head, epoch, head time
+  // base) the crash-recovery protocol needs.
+  constexpr std::size_t kControlBytes = 16;
+  Status status = nvm_.Allocate(MemOwner::kFlight, recorder->capacity() + kControlBytes,
+                                "flight-recorder");
+  if (!status.ok()) {
+    return status;
+  }
+  recorder->set_port(this);
+  flight_ = recorder;
+  return Status::Ok();
+}
+
+bool Mcu::ChargeRecordBuild() {
+  return ExecuteCycles(costs_.flight_record_build_cycles, CostTag::kFlight) ==
+         ExecStatus::kOk;
+}
+
+bool Mcu::ChargeWriteByte() {
+  return ExecuteCycles(costs_.flight_nvm_write_cycles_per_byte, CostTag::kFlight) ==
+         ExecStatus::kOk;
+}
+
+bool Mcu::ChargeControlWrite() {
+  return ExecuteCycles(costs_.flight_control_write_cycles, CostTag::kFlight) ==
+         ExecStatus::kOk;
+}
+
 ExecStatus Mcu::ExecuteInternal(SimDuration duration, Milliwatts power, CostTag tag,
                                 int depth) {
   if (starved_) {
@@ -63,6 +98,11 @@ ExecStatus Mcu::ExecuteInternal(SimDuration duration, Milliwatts power, CostTag 
 
   // Power failure: outage begins now, device resumes at res.restart_at.
   ++stats_.reboots;
+  if (flight_ != nullptr) {
+    // The epoch bump is folded into the reboot restore cost below, so epochs
+    // count every reboot even when the boot record itself cannot be written.
+    flight_->NoteReboot();
+  }
   const SimTime device_death_time = clock_.Read();
   clock_.NotifyPowerFailure();
   ram_.LosePower();
@@ -103,6 +143,16 @@ ExecStatus Mcu::ExecuteInternal(SimDuration duration, Milliwatts power, CostTag 
       ExecuteInternal(restore, costs_.mcu_active_power, CostTag::kReboot, depth + 1);
   if (boot == ExecStatus::kStarved) {
     return ExecStatus::kStarved;
+  }
+  // Black-box the new power life. The append's own charges can fail again;
+  // the recorder aborts cleanly and the lost boot shows up as an epoch gap.
+  if (flight_ != nullptr && !in_flight_boot_) {
+    in_flight_boot_ = true;
+    const bool had_boot = flight_->boot_recorded();
+    if (flight_->AppendBoot() && !had_boot && flight_->boot_recorded()) {
+      (void)flight_->AppendChargeSnapshot(power_->StoredEnergyFraction());
+    }
+    in_flight_boot_ = false;
   }
   return ExecStatus::kPowerFailure;
 }

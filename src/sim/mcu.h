@@ -14,7 +14,9 @@
 #include <memory>
 #include <string>
 
+#include "src/base/status.h"
 #include "src/base/time.h"
+#include "src/flight/recorder.h"
 #include "src/obs/bus.h"
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
@@ -26,9 +28,10 @@ namespace artemis {
 enum class ExecStatus { kOk, kPowerFailure, kStarved };
 
 // Accounting buckets; kApp vs kRuntime vs kMonitor produces Figures 14/15
-// directly, kReboot separates outage restoration costs.
-enum class CostTag { kApp = 0, kRuntime = 1, kMonitor = 2, kReboot = 3 };
-inline constexpr int kNumCostTags = 4;
+// directly, kReboot separates outage restoration costs, kFlight isolates
+// what the on-device flight recorder adds on top.
+enum class CostTag { kApp = 0, kRuntime = 1, kMonitor = 2, kReboot = 3, kFlight = 4 };
+inline constexpr int kNumCostTags = 5;
 
 const char* CostTagName(CostTag tag);
 
@@ -42,7 +45,7 @@ struct McuStats {
   EnergyUj TotalEnergy() const;
 };
 
-class Mcu {
+class Mcu : public flight::FlightPort {
  public:
   Mcu(std::unique_ptr<PowerModel> power, const CostModel& costs);
 
@@ -86,6 +89,20 @@ class Mcu {
   void set_observer(obs::EventBus* bus) { obs_ = bus; }
   obs::EventBus* observer() const { return obs_; }
 
+  // Attaches an on-device flight recorder (src/flight). Unlike the obs bus,
+  // the recorder lives *inside* the device: its ring is registered with the
+  // NVM arena and every append is charged simulated cycles under
+  // CostTag::kFlight. Returns the arena's structured error when the ring
+  // budget does not fit. nullptr detaches (no cycles charged anywhere).
+  Status AttachFlightRecorder(flight::FlightRecorder* recorder);
+  flight::FlightRecorder* flight_recorder() const { return flight_; }
+
+  // flight::FlightPort — charges map to the CostModel's flight_* constants.
+  bool ChargeRecordBuild() override;
+  bool ChargeWriteByte() override;
+  bool ChargeControlWrite() override;
+  SimTime DeviceNow() override { return clock_.Read(); }
+
  private:
   ExecStatus ExecuteInternal(SimDuration duration, Milliwatts power, CostTag tag, int depth);
 
@@ -97,6 +114,11 @@ class Mcu {
   McuStats stats_;
   bool starved_ = false;
   obs::EventBus* obs_ = nullptr;
+  flight::FlightRecorder* flight_ = nullptr;
+  // Guards against mutual recursion when the boot-record append itself dies
+  // mid-charge and triggers another reboot (the nested reboot still bumps
+  // the epoch; its boot record is simply lost and surfaces as an epoch gap).
+  bool in_flight_boot_ = false;
 };
 
 }  // namespace artemis

@@ -12,14 +12,23 @@ const char* MemOwnerName(MemOwner owner) {
       return "app";
     case MemOwner::kKernel:
       return "kernel";
+    case MemOwner::kFlight:
+      return "flight";
   }
   return "?";
 }
 
-bool NvmArena::Allocate(MemOwner owner, std::size_t bytes, const std::string& label) {
+Status NvmArena::Allocate(MemOwner owner, std::size_t bytes, const std::string& label) {
+  const std::size_t remaining = capacity_ > used_ ? capacity_ - used_ : 0;
   entries_.push_back(Entry{owner, bytes, label});
   used_ += bytes;
-  return used_ <= capacity_;
+  if (used_ > capacity_) {
+    return Status::ResourceExhausted(
+        "NVM arena exhausted: '" + label + "' (" + MemOwnerName(owner) + ") requested " +
+        std::to_string(bytes) + " bytes with only " + std::to_string(remaining) + " of " +
+        std::to_string(capacity_) + " remaining");
+  }
+  return Status::Ok();
 }
 
 MemoryReport NvmArena::Report() const {

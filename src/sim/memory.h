@@ -14,12 +14,13 @@
 #include <string>
 #include <vector>
 
+#include "src/base/status.h"
 #include "src/base/time.h"
 
 namespace artemis {
 
 // Component tags used for the Table 2 breakdown.
-enum class MemOwner { kRuntime, kMonitor, kApp, kKernel };
+enum class MemOwner { kRuntime, kMonitor, kApp, kKernel, kFlight };
 
 const char* MemOwnerName(MemOwner owner);
 
@@ -35,9 +36,10 @@ class NvmArena {
  public:
   explicit NvmArena(std::size_t capacity_bytes = 256 * 1024) : capacity_(capacity_bytes) {}
 
-  // Records an allocation. Returns false when the arena is exhausted (the
-  // allocation is still recorded so reports show the overflow).
-  bool Allocate(MemOwner owner, std::size_t bytes, const std::string& label);
+  // Records an allocation. On exhaustion returns kResourceExhausted naming
+  // the requesting subsystem and the bytes that remained (the allocation is
+  // still recorded so reports show the overflow).
+  Status Allocate(MemOwner owner, std::size_t bytes, const std::string& label);
 
   MemoryReport Report() const;
   std::size_t used() const { return used_; }
@@ -113,7 +115,7 @@ class Persistent {
   Persistent(NvmArena* arena, MemOwner owner, const std::string& label, T initial = T{})
       : value_(initial) {
     if (arena != nullptr) {
-      arena->Allocate(owner, sizeof(T), label);
+      (void)arena->Allocate(owner, sizeof(T), label);
     }
   }
 

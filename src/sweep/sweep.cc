@@ -12,6 +12,7 @@
 #include "src/apps/health_app.h"
 #include "src/base/units.h"
 #include "src/core/builder.h"
+#include "src/flight/recorder.h"
 #include "src/obs/bus.h"
 #include "src/sim/timekeeper.h"
 #include "src/sweep/grid_json.h"
@@ -57,6 +58,15 @@ StatusOr<MonitorBackend> ParseBackend(const std::string& name) {
   }
   return Status::Invalid("sweep: unknown backend '" + name +
                          "' (builtin|interpreted|compiled)");
+}
+
+StatusOr<flight::FlightLevel> ParseFlightAxis(const std::string& text) {
+  flight::FlightLevel level = flight::FlightLevel::kOff;
+  if (!flight::ParseFlightLevel(text, &level)) {
+    return Status::Invalid("sweep: unknown flight level '" + text +
+                           "' (off|verdicts|full)");
+  }
+  return level;
 }
 
 StatusOr<double> ParseFraction(const std::string& text, const std::string& what) {
@@ -230,6 +240,9 @@ StatusOr<std::vector<SweepPoint>> ExpandGrid(const SweepSpec& spec) {
       return probe.status();
     }
   }
+  if (StatusOr<flight::FlightLevel> level = ParseFlightAxis(spec.flight); !level.ok()) {
+    return level.status();
+  }
   std::vector<std::pair<std::string, MonitorBackend>> backends;
   for (const std::string& name : spec.backends) {
     StatusOr<MonitorBackend> backend = ParseBackend(name);
@@ -306,6 +319,24 @@ SweepRow RunSweepPoint(const SweepPoint& point, const SweepSpec& spec,
   }
   std::unique_ptr<Mcu> mcu = builder.Build();
 
+  // A non-"off" flight axis attaches a per-point recorder: the ring lives in
+  // this point's NVM arena and every append is charged to this point's MCU,
+  // so the footprint numbers below are isolated per row.
+  StatusOr<flight::FlightLevel> flight_level = ParseFlightAxis(spec.flight);
+  if (!flight_level.ok()) {
+    row.error = flight_level.status().ToString();
+    return row;
+  }
+  std::unique_ptr<flight::FlightRecorder> recorder;
+  if (flight_level.value() != flight::FlightLevel::kOff) {
+    recorder =
+        std::make_unique<flight::FlightRecorder>(spec.flight_bytes, flight_level.value());
+    if (const Status attached = mcu->AttachFlightRecorder(recorder.get()); !attached.ok()) {
+      row.error = attached.ToString();
+      return row;
+    }
+  }
+
   // Per-point bus + aggregator: attaching costs zero simulated cycles, so
   // collect_stats never perturbs the simulated results.
   obs::EventBus bus;
@@ -337,6 +368,7 @@ SweepRow RunSweepPoint(const SweepPoint& point, const SweepSpec& spec,
     config.kernel.max_wall_time = spec.max_wall;
     config.kernel.record_trace = spec.record_trace;
     config.observer = observer;
+    config.flight = recorder.get();
     StatusOr<std::unique_ptr<ArtemisRuntime>> runtime =
         ArtemisRuntime::CreateFromArtifact(&graph, artifact.value(), mcu.get(), config);
     if (!runtime.ok()) {
@@ -360,6 +392,7 @@ SweepRow RunSweepPoint(const SweepPoint& point, const SweepSpec& spec,
     options.max_wall_time = spec.max_wall;
     options.record_trace = spec.record_trace;
     options.observer = observer;
+    options.flight = recorder.get();
     if (observer != nullptr) {
       mcu->set_observer(observer);
     }
@@ -377,6 +410,18 @@ SweepRow RunSweepPoint(const SweepPoint& point, const SweepSpec& spec,
     }
     if (spec.post_run) {
       spec.post_run(point, artifacts, &row);
+    }
+  }
+  if (recorder != nullptr && row.ok) {
+    const flight::FlightStats& fs = recorder->stats();
+    row.flight_enabled = true;
+    row.flight_sealed = fs.records_sealed;
+    row.flight_dropped = fs.appends_aborted + fs.records_evicted + fs.records_dropped;
+    row.flight_bytes = fs.bytes_sealed;
+    const double total = row.result.stats.TotalEnergy();
+    if (total > 0.0) {
+      row.flight_energy_share =
+          row.result.stats.energy[static_cast<int>(CostTag::kFlight)] / total;
     }
   }
   std::sort(row.metrics.begin(), row.metrics.end());
@@ -480,6 +525,12 @@ std::string RenderJson(const SweepSpec& spec, const SweepOutcome& outcome) {
              ", \"completed_paths\": " + std::to_string(row.stats->completed_paths()) +
              ", \"committed_bytes\": " + std::to_string(row.stats->committed_bytes()) + "}";
     }
+    if (row.flight_enabled) {
+      out += ", \"flight\": {\"sealed\": " + std::to_string(row.flight_sealed) +
+             ", \"dropped\": " + std::to_string(row.flight_dropped) +
+             ", \"bytes\": " + std::to_string(row.flight_bytes) +
+             ", \"energy_share\": " + FormatFixed(row.flight_energy_share, 6) + "}";
+    }
     if (!row.metrics.empty()) {
       out += ", \"metrics\": {";
       for (std::size_t m = 0; m < row.metrics.size(); ++m) {
@@ -499,10 +550,20 @@ std::string RenderJson(const SweepSpec& spec, const SweepOutcome& outcome) {
 }
 
 std::string RenderCsv(const SweepOutcome& outcome) {
+  // Flight columns appear only when the sweep ran with a recorder attached:
+  // existing consumers of the base schema keep byte-identical output.
+  bool any_flight = false;
+  for (const SweepRow& row : outcome.rows) {
+    any_flight = any_flight || row.flight_enabled;
+  }
   std::string out =
       "index,system,spec,backend,timekeeper,charge_us,budget_uj,seed,status,"
       "completed,timed_out,starved,iterations,finished_at_us,energy_uj,reboots,"
-      "charging_us,monitor_events,violations,error,metrics\n";
+      "charging_us,monitor_events,violations,error,metrics";
+  if (any_flight) {
+    out += ",flight_sealed,flight_dropped,flight_bytes,flight_energy_share";
+  }
+  out += '\n';
   for (const SweepRow& row : outcome.rows) {
     out += std::to_string(row.index);
     out += ',' + CsvQuote(row.system);
@@ -525,6 +586,12 @@ std::string RenderCsv(const SweepOutcome& outcome) {
     out += ',' + std::to_string(row.violations);
     out += ',' + CsvQuote(row.error);
     out += ',' + CsvQuote(MetricsCell(row));
+    if (any_flight) {
+      out += ',' + std::to_string(row.flight_sealed);
+      out += ',' + std::to_string(row.flight_dropped);
+      out += ',' + std::to_string(row.flight_bytes);
+      out += ',' + FormatFixed(row.flight_energy_share, 6);
+    }
     out += '\n';
   }
   return out;
@@ -545,6 +612,15 @@ std::string RenderTable(const SweepOutcome& outcome) {
                   static_cast<unsigned long long>(row.monitor_events),
                   static_cast<unsigned long long>(row.violations));
     out += line;
+    if (row.flight_enabled) {
+      std::snprintf(line, sizeof(line),
+                    "       flight: %llu sealed, %llu dropped, %llu B, %s%% energy\n",
+                    static_cast<unsigned long long>(row.flight_sealed),
+                    static_cast<unsigned long long>(row.flight_dropped),
+                    static_cast<unsigned long long>(row.flight_bytes),
+                    FormatFixed(row.flight_energy_share * 100.0, 2).c_str());
+      out += line;
+    }
     if (!row.ok) {
       out += "       error: " + row.error + "\n";
     }
@@ -709,6 +785,20 @@ StatusOr<SweepSpec> ParseGridJson(
         return TypeError(key, "a boolean");
       }
       spec.record_trace = value->boolean();
+    } else if (key == "flight") {
+      if (!value->is_string()) {
+        return TypeError(key, "a string (off|verdicts|full)");
+      }
+      StatusOr<flight::FlightLevel> level = ParseFlightAxis(value->string());
+      if (!level.ok()) {
+        return level.status();
+      }
+      spec.flight = value->string();
+    } else if (key == "flight_bytes") {
+      if (!value->is_number() || value->number() < 1) {
+        return TypeError(key, "a positive integer (ring capacity in bytes)");
+      }
+      spec.flight_bytes = static_cast<std::size_t>(value->number());
     } else {
       return Status::Invalid("sweep grid: unknown key \"" + key + "\"");
     }

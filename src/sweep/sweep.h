@@ -76,6 +76,13 @@ struct SweepSpec {
   bool collect_stats = false;
   // Record the kernel ExecutionTrace (host memory only; for post_run).
   bool record_trace = false;
+  // On-device flight recorder level: "off", "verdicts", or "full". Anything
+  // but "off" attaches a per-point FlightRecorder of `flight_bytes` capacity
+  // whose appends are charged to the simulated device (docs/forensics.md) —
+  // by design this perturbs the simulated results, unlike collect_stats.
+  // Footprint numbers land in the SweepRow flight_* fields.
+  std::string flight = "off";
+  std::size_t flight_bytes = 1024;
   // C++-only hook, run inside the worker after the point's simulation, for
   // bench-specific metric extraction into SweepRow::metrics. Must be
   // thread-safe (it runs concurrently for different points) and must
@@ -119,6 +126,14 @@ struct SweepRow {
   std::uint64_t monitor_events = 0;
   std::uint64_t violations = 0;
   std::optional<ObsStatsAggregator> stats;  // when SweepSpec::collect_stats
+  // Flight-recorder footprint (populated when SweepSpec::flight != "off"):
+  // records kept/dropped, sealed bytes, and the recorder's share of the
+  // total simulated energy.
+  bool flight_enabled = false;
+  std::uint64_t flight_sealed = 0;
+  std::uint64_t flight_dropped = 0;  // aborted + evicted + oversize
+  std::uint64_t flight_bytes = 0;    // seal + payload bytes, cumulative
+  double flight_energy_share = 0.0;
   // post_run extras, sorted by key before export.
   std::vector<std::pair<std::string, double>> metrics;
 };

@@ -1,0 +1,92 @@
+// Golden flight-dump regression test: the health app under the canonical
+// 6-minute-charging schedule, with the full-level flight recorder attached,
+// must produce a byte-stable forensics dump. The golden lives at
+// tests/golden/flight/health_6min.jsonl and is also the reference for the
+// tools/ci.sh forensics gate (which regenerates the dump through
+// `artemisc forensics dump` and diffs it against the same file).
+//
+// Regenerate after an intentional wire-format or dump-schema change with
+//   UPDATE_GOLDEN=1 ./flight_golden_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/apps/health_app.h"
+#include "src/core/builder.h"
+#include "src/core/runtime.h"
+#include "src/flight/decoder.h"
+#include "src/flight/forensics.h"
+#include "src/flight/recorder.h"
+
+namespace artemis {
+namespace {
+
+#ifndef ARTEMIS_SOURCE_DIR
+#define ARTEMIS_SOURCE_DIR "."
+#endif
+
+constexpr char kGoldenPath[] = "/tests/golden/flight/health_6min.jsonl";
+
+// Mirrors `artemisc forensics dump --app health --schedule 6min`: same
+// platform (19,500 uJ on-budget, 6 min bin with the 1 s boot margin), same
+// recorder configuration (1024-byte ring, full level), same header
+// metadata.
+std::string RunHealth6MinDump() {
+  HealthApp app = BuildHealthApp();
+  auto mcu =
+      PlatformBuilder().WithFixedCharge(19'500.0, 6 * kMinute - 1 * kSecond).Build();
+  flight::FlightRecorder recorder(1024, flight::FlightLevel::kFull);
+  EXPECT_TRUE(mcu->AttachFlightRecorder(&recorder).ok());
+
+  ArtemisConfig config;
+  config.kernel.max_wall_time = 12 * kHour;
+  config.flight = &recorder;
+  auto runtime = ArtemisRuntime::Create(&app.graph, HealthAppSpec(), mcu.get(), config);
+  EXPECT_TRUE(runtime.ok()) << runtime.status().ToString();
+  EXPECT_TRUE(runtime.value()->Run().completed);
+
+  StatusOr<std::vector<flight::FlightRecord>> records =
+      flight::DecodeRing(recorder.Image());
+  EXPECT_TRUE(records.ok()) << records.status().ToString();
+
+  flight::FlightMeta meta = flight::MetaFromRecorder(recorder);
+  meta.app = "health";
+  meta.power = "fixed-charge";
+  meta.schedule = "6min";
+  meta.backend = "builtin";
+  for (TaskId t = 0; t < app.graph.task_count(); ++t) {
+    meta.task_names.push_back(app.graph.TaskName(t));
+  }
+  return flight::RenderDumpJsonl(records.value(), meta);
+}
+
+TEST(FlightGoldenTest, Health6MinDumpIsByteStable) {
+  const std::string actual = RunHealth6MinDump();
+  const std::string path = std::string(ARTEMIS_SOURCE_DIR) + kGoldenPath;
+  if (std::getenv("UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "cannot read " << path
+                         << " (regenerate with UPDATE_GOLDEN=1)";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(golden.str(), actual) << "flight dump drifted from " << path
+                                  << " (regenerate with UPDATE_GOLDEN=1)";
+}
+
+// A second run in the same process must produce identical bytes: the dump
+// depends only on the simulation, never on host state.
+TEST(FlightGoldenTest, DumpIsDeterministicAcrossRuns) {
+  EXPECT_EQ(RunHealth6MinDump(), RunHealth6MinDump());
+}
+
+}  // namespace
+}  // namespace artemis

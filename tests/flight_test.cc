@@ -1,0 +1,343 @@
+// Unit tests for the flight-recorder stack: varint codec, record payloads,
+// the two-phase ring protocol (wrap, eviction, level gating, boot dedup),
+// the host-side decoder, and the NVM-arena registration path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/flight/decoder.h"
+#include "src/flight/forensics.h"
+#include "src/flight/record.h"
+#include "src/flight/recorder.h"
+#include "src/sim/mcu.h"
+#include "src/sim/power_model.h"
+
+namespace artemis::flight {
+namespace {
+
+// A port where every charge succeeds; time is script-controlled.
+class FakePort : public FlightPort {
+ public:
+  bool ChargeRecordBuild() override { return true; }
+  bool ChargeWriteByte() override { return true; }
+  bool ChargeControlWrite() override { return true; }
+  SimTime DeviceNow() override { return now; }
+
+  SimTime now = 0;
+};
+
+// ---------------------------------------------------------------- codec --
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  for (const std::uint64_t value :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{127}, std::uint64_t{128},
+        std::uint64_t{16'383}, std::uint64_t{16'384}, std::uint64_t{~0ull}}) {
+    std::vector<std::uint8_t> bytes;
+    PutVarint(&bytes, value);
+    std::size_t pos = 0;
+    std::uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint(bytes.data(), bytes.size(), &pos, &decoded)) << value;
+    EXPECT_EQ(decoded, value);
+    EXPECT_EQ(pos, bytes.size());
+  }
+}
+
+TEST(VarintTest, RejectsTruncation) {
+  std::vector<std::uint8_t> bytes;
+  PutVarint(&bytes, 1'000'000);
+  std::size_t pos = 0;
+  std::uint64_t decoded = 0;
+  EXPECT_FALSE(GetVarint(bytes.data(), bytes.size() - 1, &pos, &decoded));
+}
+
+TEST(ZigZagTest, RoundTripsNegativeDeltas) {
+  for (const std::int64_t value : {std::int64_t{0}, std::int64_t{-1}, std::int64_t{1},
+                                   std::int64_t{-123456}, std::int64_t{123456}}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(value)), value);
+  }
+}
+
+TEST(RecordCodecTest, RoundTripsEveryKind) {
+  const SimTime base = 10'000;
+  std::vector<FlightRecord> samples;
+  {
+    FlightRecord r;
+    r.kind = RecordKind::kBoot;
+    r.time = 12'345;
+    r.epoch = 7;
+    samples.push_back(r);
+  }
+  {
+    FlightRecord r;
+    r.kind = RecordKind::kTaskStart;
+    r.time = 9'000;  // Regression vs base: zigzag delta must survive.
+    r.seq = 42;
+    r.task = 3;
+    r.path = 2;
+    r.attempt = 5;
+    samples.push_back(r);
+  }
+  {
+    FlightRecord r;
+    r.kind = RecordKind::kTaskEnd;
+    r.time = 10'001;
+    r.seq = 43;
+    r.task = 3;
+    r.path = 2;
+    samples.push_back(r);
+  }
+  {
+    FlightRecord r;
+    r.kind = RecordKind::kCommit;
+    r.time = 10'002;
+    r.seq = 44;
+    r.task = 1;
+    r.bytes = 4'096;
+    samples.push_back(r);
+  }
+  {
+    FlightRecord r;
+    r.kind = RecordKind::kVerdict;
+    r.time = 10'003;
+    r.seq = 45;
+    r.task = 6;
+    r.action = 3;
+    r.target_path = 2;
+    samples.push_back(r);
+  }
+  {
+    FlightRecord r;
+    r.kind = RecordKind::kChargeSnapshot;
+    r.time = 10'004;
+    r.epoch = 7;
+    r.fraction_milli = 875;
+    samples.push_back(r);
+  }
+  for (const FlightRecord& sample : samples) {
+    const std::vector<std::uint8_t> payload = EncodePayload(sample, base);
+    ASSERT_FALSE(payload.empty());
+    ASSERT_LE(payload.size(), kMaxPayloadBytes);
+    FlightRecord decoded;
+    ASSERT_TRUE(DecodePayload(payload.data(), payload.size(), base, &decoded))
+        << RecordKindName(sample.kind);
+    EXPECT_EQ(decoded.kind, sample.kind);
+    EXPECT_EQ(decoded.time, sample.time);
+    EXPECT_EQ(decoded.epoch, sample.epoch);
+    EXPECT_EQ(decoded.seq, sample.seq);
+    EXPECT_EQ(decoded.task, sample.task);
+    EXPECT_EQ(decoded.path, sample.path);
+    EXPECT_EQ(decoded.attempt, sample.attempt);
+    EXPECT_EQ(decoded.bytes, sample.bytes);
+    EXPECT_EQ(decoded.action, sample.action);
+    EXPECT_EQ(decoded.target_path, sample.target_path);
+    EXPECT_EQ(decoded.fraction_milli, sample.fraction_milli);
+  }
+}
+
+TEST(RecordCodecTest, RejectsTrailingGarbage) {
+  FlightRecord r;
+  r.kind = RecordKind::kTaskEnd;
+  r.time = 5;
+  r.seq = 1;
+  std::vector<std::uint8_t> payload = EncodePayload(r, 0);
+  payload.push_back(0x00);
+  FlightRecord decoded;
+  EXPECT_FALSE(DecodePayload(payload.data(), payload.size(), 0, &decoded));
+}
+
+TEST(RecordCodecTest, RejectsUnknownKind) {
+  const std::uint8_t bogus[] = {0x7f, 0x00};
+  FlightRecord decoded;
+  EXPECT_FALSE(DecodePayload(bogus, sizeof(bogus), 0, &decoded));
+}
+
+// ------------------------------------------------------------- recorder --
+
+TEST(FlightRecorderTest, AppendsAndDecodesInOrder) {
+  FakePort port;
+  FlightRecorder recorder(256, FlightLevel::kFull);
+  recorder.set_port(&port);
+  recorder.NoteReboot();
+  EXPECT_TRUE(recorder.AppendBoot());
+  port.now = 100;
+  EXPECT_TRUE(recorder.AppendTaskStart(1, 2, 1, 1));
+  port.now = 180;
+  EXPECT_TRUE(recorder.AppendCommit(1, 2, 64));
+  port.now = 200;
+  EXPECT_TRUE(recorder.AppendTaskEnd(2, 2, 1));
+
+  StatusOr<std::vector<FlightRecord>> decoded = DecodeRing(recorder.Image());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().size(), 4u);
+  EXPECT_EQ(decoded.value()[0].kind, RecordKind::kBoot);
+  EXPECT_EQ(decoded.value()[0].epoch, 1u);
+  EXPECT_EQ(decoded.value()[1].kind, RecordKind::kTaskStart);
+  EXPECT_EQ(decoded.value()[1].time, 100u);
+  EXPECT_EQ(decoded.value()[2].kind, RecordKind::kCommit);
+  EXPECT_EQ(decoded.value()[2].bytes, 64u);
+  EXPECT_EQ(decoded.value()[3].kind, RecordKind::kTaskEnd);
+  EXPECT_EQ(decoded.value()[3].time, 200u);
+  EXPECT_EQ(recorder.stats().records_sealed, 4u);
+  EXPECT_EQ(recorder.stats().appends_aborted, 0u);
+}
+
+TEST(FlightRecorderTest, WrapEvictsOldestAndStaysDecodable) {
+  FakePort port;
+  FlightRecorder recorder(48, FlightLevel::kFull);
+  recorder.set_port(&port);
+  const int kAppends = 200;
+  for (int i = 0; i < kAppends; ++i) {
+    port.now = static_cast<SimTime>(1000 + i);
+    ASSERT_TRUE(recorder.AppendTaskStart(static_cast<std::uint64_t>(i), 1, 1, 1));
+  }
+  EXPECT_GT(recorder.stats().records_evicted, 0u);
+  EXPECT_EQ(recorder.stats().records_sealed, static_cast<std::uint64_t>(kAppends));
+
+  StatusOr<std::vector<FlightRecord>> decoded = DecodeRing(recorder.Image());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_FALSE(decoded.value().empty());
+  // The survivors are the newest contiguous suffix, with absolute times
+  // reconstructed correctly across the eviction boundary.
+  const std::uint64_t first_seq = decoded.value().front().seq;
+  for (std::size_t i = 0; i < decoded.value().size(); ++i) {
+    EXPECT_EQ(decoded.value()[i].seq, first_seq + i);
+    EXPECT_EQ(decoded.value()[i].time, 1000 + first_seq + i);
+  }
+  EXPECT_EQ(decoded.value().back().seq, static_cast<std::uint64_t>(kAppends - 1));
+}
+
+TEST(FlightRecorderTest, LevelGatesRecordKinds) {
+  FakePort port;
+  FlightRecorder verdicts_only(256, FlightLevel::kVerdictsOnly);
+  verdicts_only.set_port(&port);
+  EXPECT_TRUE(verdicts_only.AppendBoot());
+  EXPECT_TRUE(verdicts_only.AppendTaskStart(1, 1, 1, 1));  // filtered, not an error
+  EXPECT_TRUE(verdicts_only.AppendCommit(1, 1, 8));
+  EXPECT_TRUE(verdicts_only.AppendChargeSnapshot(0.5));
+  EXPECT_TRUE(verdicts_only.AppendVerdict(2, 1, 1, 0));
+  StatusOr<std::vector<FlightRecord>> decoded = DecodeRing(verdicts_only.Image());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), 2u);
+  EXPECT_EQ(decoded.value()[0].kind, RecordKind::kBoot);
+  EXPECT_EQ(decoded.value()[1].kind, RecordKind::kVerdict);
+
+  FlightRecorder off(256, FlightLevel::kOff);
+  off.set_port(&port);
+  EXPECT_TRUE(off.AppendBoot());
+  EXPECT_TRUE(off.AppendVerdict(1, 1, 1, 0));
+  EXPECT_EQ(off.stats().records_sealed, 0u);
+}
+
+TEST(FlightRecorderTest, BootRecordDedupedPerEpoch) {
+  FakePort port;
+  FlightRecorder recorder(256, FlightLevel::kFull);
+  recorder.set_port(&port);
+  EXPECT_TRUE(recorder.AppendBoot());
+  EXPECT_TRUE(recorder.AppendBoot());  // same epoch: no-op
+  recorder.NoteReboot();
+  EXPECT_TRUE(recorder.AppendBoot());
+  StatusOr<std::vector<FlightRecord>> decoded = DecodeRing(recorder.Image());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), 2u);
+  EXPECT_EQ(decoded.value()[0].epoch, 0u);
+  EXPECT_EQ(decoded.value()[1].epoch, 1u);
+}
+
+TEST(FlightRecorderTest, MinimumCapacityClamped) {
+  FakePort port;
+  FlightRecorder recorder(1, FlightLevel::kFull);
+  recorder.set_port(&port);
+  EXPECT_EQ(recorder.capacity(), FlightRecorder::kMinCapacityBytes);
+  EXPECT_TRUE(recorder.AppendBoot());
+  EXPECT_EQ(recorder.stats().records_sealed, 1u);
+}
+
+TEST(FlightLevelTest, ParsesNames) {
+  FlightLevel level = FlightLevel::kOff;
+  EXPECT_TRUE(ParseFlightLevel("off", &level));
+  EXPECT_EQ(level, FlightLevel::kOff);
+  EXPECT_TRUE(ParseFlightLevel("verdicts", &level));
+  EXPECT_EQ(level, FlightLevel::kVerdictsOnly);
+  EXPECT_TRUE(ParseFlightLevel("full", &level));
+  EXPECT_EQ(level, FlightLevel::kFull);
+  EXPECT_FALSE(ParseFlightLevel("loud", &level));
+  EXPECT_STREQ(FlightLevelName(FlightLevel::kVerdictsOnly), "verdicts");
+}
+
+// ------------------------------------------------- arena registration --
+
+TEST(FlightAttachTest, RegistersRingWithNvmArena) {
+  auto mcu = std::make_unique<Mcu>(
+      std::make_unique<FixedChargePowerModel>(1e9, kSecond), DefaultCostModel());
+  FlightRecorder recorder(1024, FlightLevel::kFull);
+  const std::size_t before = mcu->nvm().used();
+  ASSERT_TRUE(mcu->AttachFlightRecorder(&recorder).ok());
+  EXPECT_GE(mcu->nvm().used() - before, 1024u);
+  EXPECT_EQ(mcu->flight_recorder(), &recorder);
+  ASSERT_TRUE(mcu->AttachFlightRecorder(nullptr).ok());
+  EXPECT_EQ(mcu->flight_recorder(), nullptr);
+}
+
+// Satellite: an oversized ring budget surfaces the arena's structured
+// exhaustion error, naming the subsystem and the remaining bytes.
+TEST(FlightAttachTest, OversizedRingReportsStructuredExhaustion) {
+  auto mcu = std::make_unique<Mcu>(
+      std::make_unique<FixedChargePowerModel>(1e9, kSecond), DefaultCostModel());
+  FlightRecorder recorder(512 * 1024, FlightLevel::kFull);  // > 256 KB FRAM
+  const Status status = mcu->AttachFlightRecorder(&recorder);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(status.message().find("flight-recorder"), std::string::npos) << status.message();
+  EXPECT_NE(status.message().find("flight"), std::string::npos) << status.message();
+  EXPECT_NE(status.message().find("remaining"), std::string::npos) << status.message();
+  EXPECT_EQ(mcu->flight_recorder(), nullptr);  // failed attach leaves no port
+}
+
+// ------------------------------------------------------------ forensics --
+
+TEST(ForensicsTest, ActionCodeNamesMatchKernelTable) {
+  EXPECT_STREQ(ActionCodeName(0), "none");
+  EXPECT_STREQ(ActionCodeName(1), "restartTask");
+  EXPECT_STREQ(ActionCodeName(2), "skipTask");
+  EXPECT_STREQ(ActionCodeName(3), "restartPath");
+  EXPECT_STREQ(ActionCodeName(4), "skipPath");
+  EXPECT_STREQ(ActionCodeName(5), "completePath");
+  EXPECT_STREQ(ActionCodeName(200), "unknown");
+}
+
+TEST(ForensicsTest, DetectFlagsNonTermination) {
+  std::vector<FlightRecord> records;
+  for (std::uint32_t attempt = 1; attempt <= 4; ++attempt) {
+    FlightRecord r;
+    r.kind = RecordKind::kTaskStart;
+    r.time = attempt * 100;
+    r.seq = attempt;
+    r.task = 3;
+    r.path = 1;
+    r.attempt = attempt;
+    records.push_back(r);
+  }
+  const std::vector<Finding> findings = Detect(records, DetectOptions{});
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings.front().signature, "non-termination");
+}
+
+TEST(ForensicsTest, DetectFlagsRestartWithoutProgress) {
+  std::vector<FlightRecord> records;
+  for (std::uint32_t epoch = 0; epoch < 4; ++epoch) {
+    FlightRecord r;
+    r.kind = RecordKind::kBoot;
+    r.time = epoch * 1000;
+    r.epoch = epoch;
+    records.push_back(r);
+  }
+  bool found = false;
+  for (const Finding& finding : Detect(records, DetectOptions{})) {
+    found = found || finding.signature == "no-progress";
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace artemis::flight

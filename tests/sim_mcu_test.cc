@@ -52,9 +52,9 @@ TEST(PersistentClockTest, DriftBoundedPerOutage) {
 
 TEST(NvmArenaTest, AccountsByOwner) {
   NvmArena arena(1024);
-  EXPECT_TRUE(arena.Allocate(MemOwner::kRuntime, 100, "a"));
-  EXPECT_TRUE(arena.Allocate(MemOwner::kMonitor, 200, "b"));
-  EXPECT_TRUE(arena.Allocate(MemOwner::kRuntime, 50, "c"));
+  EXPECT_TRUE(arena.Allocate(MemOwner::kRuntime, 100, "a").ok());
+  EXPECT_TRUE(arena.Allocate(MemOwner::kMonitor, 200, "b").ok());
+  EXPECT_TRUE(arena.Allocate(MemOwner::kRuntime, 50, "c").ok());
   const MemoryReport report = arena.Report();
   EXPECT_EQ(report.total, 350u);
   EXPECT_EQ(report.by_owner.at(MemOwner::kRuntime), 150u);
@@ -63,8 +63,14 @@ TEST(NvmArenaTest, AccountsByOwner) {
 
 TEST(NvmArenaTest, ReportsExhaustion) {
   NvmArena arena(128);
-  EXPECT_TRUE(arena.Allocate(MemOwner::kApp, 100, "a"));
-  EXPECT_FALSE(arena.Allocate(MemOwner::kApp, 100, "b"));
+  EXPECT_TRUE(arena.Allocate(MemOwner::kApp, 100, "a").ok());
+  const Status status = arena.Allocate(MemOwner::kApp, 100, "b");
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  // The structured error names the requesting subsystem and what was left.
+  EXPECT_NE(status.message().find("'b'"), std::string::npos) << status.message();
+  EXPECT_NE(status.message().find("app"), std::string::npos) << status.message();
+  EXPECT_NE(status.message().find("28 of 128 remaining"), std::string::npos)
+      << status.message();
   EXPECT_EQ(arena.used(), 200u);  // Still recorded for the report.
 }
 
@@ -177,6 +183,7 @@ TEST(CostTagTest, NamesForAllTags) {
   EXPECT_STREQ(CostTagName(CostTag::kRuntime), "runtime");
   EXPECT_STREQ(CostTagName(CostTag::kMonitor), "monitor");
   EXPECT_STREQ(CostTagName(CostTag::kReboot), "reboot");
+  EXPECT_STREQ(CostTagName(CostTag::kFlight), "flight");
 }
 
 // ----------------------------------------------------------- peripherals --

@@ -17,7 +17,13 @@
 //                     [--charges continuous,1min,...] [--budgets <uJ>,...]
 //                     [--backends ...] [--timekeepers ...] [--seeds ...]
 //                     [--max-wall <duration>] [--stats] [--jobs N]
+//                     [--flight off|verdicts|full] [--flight-bytes N]
 //                     [--format json|csv|table] [--out <file>]
+//   artemisc forensics <dump|timeline|audit|detect> [--app ...] [--spec <file>]
+//                     [--schedule 6min|continuous] [--budget <uJ>]
+//                     [--backend ...] [--level verdicts|full]
+//                     [--flight-bytes N] [--gap <duration>]
+//                     [--min-attempts N] [--out <file>]
 //
 // `check` runs parse -> validate -> consistency analysis and, with
 // --analyze, the FSM IR static analyzer (src/analysis); `codegen`/`dot` run
@@ -32,7 +38,13 @@
 // expands a declarative grid of independent simulations (from a grid JSON
 // file and/or axis flags) and executes it on the parallel deterministic
 // sweep engine (src/sweep, docs/sweep.md): output bytes are identical for
-// any --jobs value.
+// any --jobs value. `forensics` runs the app with the on-device flight
+// recorder attached (src/flight, docs/forensics.md), then decodes the
+// recovered ring: `dump` exports deterministic JSONL, `timeline` stitches
+// boot epochs into a human-readable reconstruction, `audit` cross-validates
+// the flight log against the omniscient obs-bus capture of the same run,
+// and `detect` scans for failure signatures (non-termination, restart
+// without progress, silence gaps).
 //
 // Exit codes: 0 = clean, 1 = findings / failures, 2 = usage or I/O error.
 #include <algorithm>
@@ -53,6 +65,9 @@
 #include "src/core/obs_stats.h"
 #include "src/core/runtime.h"
 #include "src/core/stats.h"
+#include "src/flight/decoder.h"
+#include "src/flight/forensics.h"
+#include "src/flight/recorder.h"
 #include "src/ir/codegen_c.h"
 #include "src/ir/codegen_dot.h"
 #include "src/ir/lowering.h"
@@ -100,7 +115,12 @@ int Usage() {
                "           [--charges continuous,1min,...] [--budgets <uJ>,...]\n"
                "           [--backends ...] [--timekeepers ...] [--seeds ...]\n"
                "           [--max-wall <duration>] [--stats] [--jobs N]\n"
+               "           [--flight off|verdicts|full] [--flight-bytes N]\n"
                "           [--format json|csv|table] [--out <file>]\n"
+               "  forensics <dump|timeline|audit|detect> [--app ...] [--spec <file>]\n"
+               "           [--schedule 6min|continuous] [--budget <uJ>] [--backend ...]\n"
+               "           [--level verdicts|full] [--flight-bytes N]\n"
+               "           [--gap <duration>] [--min-attempts N] [--out <file>]\n"
                "exit codes: 0 = clean, 1 = findings or failures, 2 = usage/IO error\n");
   return kExitUsage;
 }
@@ -148,8 +168,15 @@ struct Args {
   std::string sweep_timekeepers;
   std::string sweep_seeds;
   std::string sweep_max_wall;
+  std::string sweep_flight;  // --flight: recorder level axis for sweep
   bool sweep_stats = false;
   int jobs = 1;
+  // forensics command only.
+  std::string forensics_mode;         // dump | timeline | audit | detect
+  std::string flight_level = "full";  // --level
+  std::size_t flight_bytes = 1024;    // --flight-bytes (ring capacity)
+  SimDuration detect_gap = 5 * kMinute;  // --gap
+  std::uint32_t min_attempts = 3;        // --min-attempts
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -175,6 +202,18 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   } else if (args->command == "sweep") {
     if (i < argc && argv[i][0] != '-') {
       args->grid_path = argv[i++];
+    }
+  } else if (args->command == "forensics") {
+    if (i >= argc || argv[i][0] == '-') {
+      std::fprintf(stderr, "artemisc: forensics wants a mode (dump|timeline|audit|detect)\n");
+      return false;
+    }
+    args->forensics_mode = argv[i++];
+    if (args->forensics_mode != "dump" && args->forensics_mode != "timeline" &&
+        args->forensics_mode != "audit" && args->forensics_mode != "detect") {
+      std::fprintf(stderr, "artemisc: unknown forensics mode '%s' (dump|timeline|audit|detect)\n",
+                   args->forensics_mode.c_str());
+      return false;
     }
   } else if (args->command != "simulate" && args->command != "profile") {
     if (i >= argc) {
@@ -341,6 +380,43 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->sweep_max_wall = value;
     } else if (flag == "--stats") {
       args->sweep_stats = true;
+    } else if (flag == "--flight") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args->sweep_flight = value;
+    } else if (flag == "--level") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args->flight_level = value;
+    } else if (flag == "--flight-bytes") {
+      const char* value = next();
+      if (value == nullptr || std::atoll(value) < 1) {
+        std::fprintf(stderr, "artemisc: --flight-bytes wants a positive integer\n");
+        return false;
+      }
+      args->flight_bytes = static_cast<std::size_t>(std::atoll(value));
+    } else if (flag == "--gap") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      const std::optional<SimDuration> parsed = ParseDuration(value);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "artemisc: bad duration '%s'\n", value);
+        return false;
+      }
+      args->detect_gap = *parsed;
+    } else if (flag == "--min-attempts") {
+      const char* value = next();
+      if (value == nullptr || std::atoi(value) < 1) {
+        std::fprintf(stderr, "artemisc: --min-attempts wants a positive integer\n");
+        return false;
+      }
+      args->min_attempts = static_cast<std::uint32_t>(std::atoi(value));
     } else {
       std::fprintf(stderr, "artemisc: unknown flag '%s'\n", flag.c_str());
       return false;
@@ -761,6 +837,128 @@ int RunTraceDiff(const Args& args) {
   return result.identical() ? kExitClean : kExitFindings;
 }
 
+// Runs the app with the flight recorder attached, recovers the ring image,
+// and analyzes it. Unlike `trace`, the recorder costs simulated cycles
+// (every appended byte is charged through the cost model), so the run here
+// is the instrumented run — the obs bus rides along for free and gives
+// `audit` its ground truth.
+int RunForensics(const Args& args) {
+  auto app = MakeApp(args);
+  if (!app.has_value()) {
+    return kExitUsage;
+  }
+  std::string source = app->default_spec;
+  if (!args.spec_path.empty()) {
+    const std::optional<std::string> file = ReadFile(args.spec_path);
+    if (!file.has_value()) {
+      std::fprintf(stderr, "artemisc: cannot read '%s'\n", args.spec_path.c_str());
+      return kExitUsage;
+    }
+    source = *file;
+  }
+  flight::FlightLevel level = flight::FlightLevel::kFull;
+  if (!flight::ParseFlightLevel(args.flight_level, &level) ||
+      level == flight::FlightLevel::kOff) {
+    std::fprintf(stderr, "artemisc: bad --level '%s' (verdicts|full)\n",
+                 args.flight_level.c_str());
+    return kExitUsage;
+  }
+  SimDuration charge = 0;
+  if (args.schedule != "continuous") {
+    const std::optional<SimDuration> period = ParseDuration(args.schedule);
+    if (!period.has_value() || *period <= 1 * kSecond) {
+      std::fprintf(stderr, "artemisc: bad schedule '%s' (a duration > 1s, or 'continuous')\n",
+                   args.schedule.c_str());
+      return kExitUsage;
+    }
+    charge = *period - 1 * kSecond;
+  }
+  PlatformBuilder platform;
+  if (charge != 0) {
+    platform.WithFixedCharge(args.budget, charge);
+  } else {
+    platform.WithContinuousPower();
+  }
+  auto mcu = platform.Build();
+
+  flight::FlightRecorder recorder(args.flight_bytes, level);
+  if (const Status attached = mcu->AttachFlightRecorder(&recorder); !attached.ok()) {
+    std::fprintf(stderr, "artemisc: %s\n", attached.ToString().c_str());
+    return kExitUsage;
+  }
+  obs::EventBus bus;
+  obs::CollectingSink capture;
+  bus.AddSink(&capture);
+
+  ArtemisConfig config;
+  config.backend = args.backend;
+  config.kernel.max_wall_time = 12 * kHour;
+  config.observer = &bus;
+  config.flight = &recorder;
+  auto runtime = ArtemisRuntime::Create(&app->graph, source, mcu.get(), config);
+  if (!runtime.ok()) {
+    std::fprintf(stderr, "setup error: %s\n", runtime.status().ToString().c_str());
+    return kExitFindings;
+  }
+  const KernelRunResult result = runtime.value()->Run();
+  bus.Flush();
+
+  StatusOr<std::vector<flight::FlightRecord>> records = flight::DecodeRing(recorder.Image());
+  if (!records.ok()) {
+    std::fprintf(stderr, "artemisc: flight log corrupt: %s\n",
+                 records.status().ToString().c_str());
+    return kExitFindings;
+  }
+
+  flight::FlightMeta meta = flight::MetaFromRecorder(recorder);
+  meta.app = args.app_file.empty() ? args.app : args.app_file;
+  meta.power = charge != 0 ? "fixed-charge" : "always-on";
+  meta.schedule = args.schedule;
+  meta.backend = MonitorBackendName(args.backend);
+  for (TaskId t = 0; t < app->graph.task_count(); ++t) {
+    meta.task_names.push_back(app->graph.TaskName(t));
+  }
+
+  std::string rendered;
+  bool clean = true;
+  if (args.forensics_mode == "dump") {
+    rendered = flight::RenderDumpJsonl(records.value(), meta);
+  } else if (args.forensics_mode == "timeline") {
+    rendered = flight::RenderTimeline(records.value(), meta);
+  } else if (args.forensics_mode == "audit") {
+    const flight::AuditReport report = flight::Audit(records.value(), capture.events());
+    rendered = flight::RenderAudit(report, meta);
+    clean = report.ok();
+  } else {
+    flight::DetectOptions options;
+    options.min_attempts = args.min_attempts;
+    options.max_gap = args.detect_gap;
+    const std::vector<flight::Finding> findings = flight::Detect(records.value(), options);
+    rendered = flight::RenderDetect(findings, meta);
+    clean = findings.empty();
+  }
+
+  if (!args.out_path.empty()) {
+    std::ofstream out(args.out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "artemisc: cannot write '%s'\n", args.out_path.c_str());
+      return kExitUsage;
+    }
+    out << rendered;
+  } else {
+    std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  }
+  std::fprintf(stderr,
+               "forensics: app=%s schedule=%s level=%s completed=%s reboots=%llu "
+               "sealed=%llu decoded=%zu\n",
+               meta.app.c_str(), args.schedule.c_str(), flight::FlightLevelName(level),
+               result.completed ? "yes" : "no",
+               static_cast<unsigned long long>(result.stats.reboots),
+               static_cast<unsigned long long>(recorder.stats().records_sealed),
+               records.value().size());
+  return clean ? kExitClean : kExitFindings;
+}
+
 std::vector<std::string> SplitCommaList(const std::string& text) {
   std::vector<std::string> out;
   std::string current;
@@ -854,6 +1052,10 @@ int RunSweepCmd(const Args& args) {
   if (args.sweep_stats) {
     grid.collect_stats = true;
   }
+  if (!args.sweep_flight.empty()) {
+    grid.flight = args.sweep_flight;
+    grid.flight_bytes = args.flight_bytes;
+  }
 
   StatusOr<sweep::SweepOutcome> outcome = sweep::RunSweep(grid, args.jobs);
   if (!outcome.ok()) {
@@ -909,6 +1111,9 @@ int Main(int argc, char** argv) {
   }
   if (args.command == "trace-diff") {
     return RunTraceDiff(args);
+  }
+  if (args.command == "forensics") {
+    return RunForensics(args);
   }
   const std::optional<std::string> source = ReadFile(args.spec_path);
   if (!source.has_value()) {

@@ -8,7 +8,9 @@
 #      for every fixture under examples/specs/bad/.
 #   4. Golden-trace gate: `artemisc trace` of the health app under 6-minute
 #      charging must be byte-identical to tests/golden/trace/health_6min.jsonl
-#      (checked with `artemisc trace diff`).
+#      (checked with `artemisc trace diff`); likewise `artemisc forensics
+#      dump` must reproduce tests/golden/flight/health_6min.jsonl, and
+#      `artemisc forensics audit` must report zero mismatches.
 #   5. Docs link check: every relative .md link in README.md, DESIGN.md,
 #      EXPERIMENTS.md, and docs/ must resolve to an existing file.
 #   6. Sweep determinism smoke: `artemisc sweep` over a small grid must
@@ -86,6 +88,24 @@ if ! "${artemisc}" trace diff "${repo_root}/tests/golden/trace/health_6min.jsonl
 fi
 echo "ok: health 6min trace matches the golden"
 
+# The flight recorder's dump is equally deterministic, and the recovered
+# black box must cross-validate against the obs-bus capture of the run.
+flight_tmp="$(mktemp /tmp/artemis_flight.XXXXXX.jsonl)"
+trap 'rm -f "${trace_tmp}" "${flight_tmp}"' EXIT
+"${artemisc}" forensics dump --app health --schedule 6min --out "${flight_tmp}" \
+  2> /dev/null
+if ! diff -u "${repo_root}/tests/golden/flight/health_6min.jsonl" "${flight_tmp}"; then
+  echo "CI FAIL: health 6min flight dump diverged from tests/golden/flight/health_6min.jsonl" >&2
+  echo "         (intentional? regenerate with UPDATE_GOLDEN=1 flight_golden_test)" >&2
+  exit 1
+fi
+echo "ok: health 6min flight dump matches the golden"
+if ! "${artemisc}" forensics audit --app health --schedule 6min > /dev/null 2>&1; then
+  echo "CI FAIL: flight log does not audit clean against the obs-bus trace" >&2
+  exit 1
+fi
+echo "ok: health 6min flight log audits clean"
+
 echo "== [5/7] Docs link check =="
 # Every relative .md link in the top-level docs and docs/ must resolve.
 # Matches [text](path.md) and [text](path.md#anchor); external http(s)
@@ -116,7 +136,7 @@ echo "== [6/7] Sweep determinism smoke =="
 # The parallel sweep engine's export must not depend on the worker count.
 sweep_j1="$(mktemp /tmp/artemis_sweep_j1.XXXXXX.json)"
 sweep_j4="$(mktemp /tmp/artemis_sweep_j4.XXXXXX.json)"
-trap 'rm -f "${trace_tmp}" "${sweep_j1}" "${sweep_j4}"' EXIT
+trap 'rm -f "${trace_tmp}" "${flight_tmp}" "${sweep_j1}" "${sweep_j4}"' EXIT
 "${artemisc}" sweep "${repo_root}/examples/sweeps/smoke.json" \
   --jobs 1 --format json --out "${sweep_j1}"
 "${artemisc}" sweep "${repo_root}/examples/sweeps/smoke.json" \
