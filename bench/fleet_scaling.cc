@@ -1,0 +1,344 @@
+// Fleet-engine scaling: (a) aggregate monitor-stepping throughput of the
+// batched SoA VM vs per-device scalar compiled dispatch on real captured
+// health-app event streams, driving >1M device-instances through the batch
+// engine; (b) end-to-end fleet throughput at 1/2/4/8 shards; (c) the shard
+// determinism check (shards=8 JSON byte-identical to shards=1). Writes
+// BENCH_fleet.json; docs/fleet.md records a reference run.
+//
+// The scalar baseline is measured in two traversal orders and both numbers
+// are reported: device-major (each device's monitors walk its whole stream
+// back-to-back — the cache-ideal order, which a fleet cannot use because
+// devices advance together through simulated time) and time-slice (every
+// device steps position p before p+1 — the order a fleet actually runs in,
+// and the headline comparison). The SoA layout's advantage is precisely
+// that time-slice traversal stays cache-dense.
+//
+// Host caveat: shard speedup is bounded by the machine's core count — on a
+// single-core container every configuration measures ~1x, which the JSON
+// records honestly via "host_cpus" (same convention as BENCH_sweep.json).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/apps/health_app.h"
+#include "src/base/units.h"
+#include "src/fleet/fleet.h"
+#include "src/fleet/instance.h"
+#include "src/monitor/compiled.h"
+#include "src/monitor/compiled_batch.h"
+#include "src/monitor/monitor.h"
+#include "src/monitor/shared_spec.h"
+
+using namespace artemis;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+struct ShardSample {
+  int shards;
+  double seconds;
+  double devices_per_sec;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_fleet.json";
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+
+  HealthApp app = BuildHealthApp();
+  StatusOr<SharedSpecArtifactPtr> artifact =
+      BuildSpecArtifact(HealthAppSpec(), app.graph, SpecArtifactStage::kCompiled);
+  if (!artifact.ok()) {
+    std::fprintf(stderr, "fleet_scaling: %s\n", artifact.status().ToString().c_str());
+    return 1;
+  }
+  const SharedSpecArtifactPtr& art = artifact.value();
+
+  // ---- capture real event streams from a handful of health devices ------
+  // Continuous power, 10 app iterations: the streams are the monitor
+  // traffic an in-loop MonitorSet would have seen, so the stepping bench
+  // below runs the actual fleet workload, not synthetic events.
+  constexpr std::uint64_t kStreamDevices = 8;
+  fleet::FleetContext ctx;
+  ctx.app = "health";
+  ctx.artifact = art;
+  std::vector<std::vector<MonitorEvent>> streams(kStreamDevices);
+  for (std::uint64_t d = 0; d < kStreamDevices; ++d) {
+    fleet::DeviceConfig config;
+    config.index = d;
+    config.seed = fleet::DeviceSeed(1, d);
+    config.charge = 0;
+    config.iterations = 10;
+    std::vector<fleet::CapturedRecord> records;
+    fleet::DeviceInstance instance(ctx, config);
+    const fleet::DeviceResult result = instance.RunCapture(&records);
+    if (!result.ok) {
+      std::fprintf(stderr, "fleet_scaling: capture failed: %s\n", result.error.c_str());
+      return 1;
+    }
+    for (const fleet::CapturedRecord& record : records) {
+      if (record.kind == fleet::CapturedRecord::Kind::kEvent) {
+        streams[d].push_back(record.event);
+      }
+    }
+    if (streams[d].empty()) {
+      std::fprintf(stderr, "fleet_scaling: empty capture stream\n");
+      return 1;
+    }
+  }
+  std::size_t max_stream = 0;
+  for (const auto& s : streams) {
+    max_stream = std::max(max_stream, s.size());
+  }
+
+  std::printf("=== Fleet engine scaling (health app) ===\n");
+  std::printf("host cpus: %u\n", host_cpus);
+  std::printf("machines: %zu  stream events/device: ~%zu\n\n", art->compiled.size(),
+              streams[0].size());
+
+  // ---- (a) per-device scalar compiled dispatch baseline -----------------
+  // One CompiledMonitor per property per device, held and stepped the way
+  // the in-loop fleet actually holds them: MonitorSet keeps
+  // vector<unique_ptr<Monitor>> and dispatches through the virtual
+  // Monitor::Step, so each device's monitors are separately heap-allocated
+  // and every step is an indirect call. The machines themselves are shared
+  // read-only. Construction is outside the timed region; the timed loop is
+  // pure event dispatch.
+  constexpr std::uint64_t kScalarDevices = 32'768;
+  std::vector<std::vector<std::unique_ptr<Monitor>>> scalar_sets(kScalarDevices);
+  for (std::uint64_t d = 0; d < kScalarDevices; ++d) {
+    scalar_sets[d].reserve(art->compiled.size());
+    for (const CompiledMachine& machine : art->compiled) {
+      scalar_sets[d].push_back(std::make_unique<CompiledMonitor>(
+          std::shared_ptr<const CompiledMachine>(art, &machine)));
+    }
+  }
+  // Device-major order (each device's monitors run its whole stream
+  // back-to-back): the cache-friendliest order scalar dispatch can hope
+  // for, reported for transparency — a real fleet cannot run in it,
+  // because devices advance together through simulated time.
+  std::uint64_t scalar_events = 0;
+  std::uint64_t scalar_dm_violations = 0;
+  const auto scalar_dm_start = std::chrono::steady_clock::now();
+  for (std::uint64_t d = 0; d < kScalarDevices; ++d) {
+    const std::vector<MonitorEvent>& stream = streams[d % kStreamDevices];
+    std::vector<std::unique_ptr<Monitor>>& monitors = scalar_sets[d];
+    for (const MonitorEvent& event : stream) {
+      for (std::unique_ptr<Monitor>& monitor : monitors) {
+        MonitorVerdict verdict;
+        if (monitor->Step(event, &verdict)) {
+          ++scalar_dm_violations;
+        }
+      }
+    }
+    scalar_events += stream.size();
+  }
+  const auto scalar_dm_end = std::chrono::steady_clock::now();
+  const double scalar_dm_secs = Seconds(scalar_dm_start, scalar_dm_end);
+  const double scalar_dm_eps = static_cast<double>(scalar_events) / scalar_dm_secs;
+
+  // Time-slice order (every device steps event position p before any
+  // device sees p+1): the order a fleet actually advances in, and the
+  // batch engine's comparison point. Per position the scalar walk visits
+  // every device's heap-scattered monitor objects — the AoS layout cost
+  // the SoA engine exists to remove.
+  for (auto& monitors : scalar_sets) {
+    for (auto& monitor : monitors) {
+      monitor->HardReset();
+    }
+  }
+  std::uint64_t scalar_violations = 0;
+  const auto scalar_start = std::chrono::steady_clock::now();
+  for (std::size_t pos = 0; pos < max_stream; ++pos) {
+    for (std::uint64_t d = 0; d < kScalarDevices; ++d) {
+      const std::vector<MonitorEvent>& stream = streams[d % kStreamDevices];
+      if (pos >= stream.size()) {
+        continue;
+      }
+      const MonitorEvent& event = stream[pos];
+      for (std::unique_ptr<Monitor>& monitor : scalar_sets[d]) {
+        MonitorVerdict verdict;
+        if (monitor->Step(event, &verdict)) {
+          ++scalar_violations;
+        }
+      }
+    }
+  }
+  const auto scalar_end = std::chrono::steady_clock::now();
+  const double scalar_secs = Seconds(scalar_start, scalar_end);
+  const double scalar_eps = static_cast<double>(scalar_events) / scalar_secs;
+
+  // ---- (a) batched SoA stepping over the same streams -------------------
+  // 4096-lane tiles, 256 tiles: 1,048,576 device-instances, each walking a
+  // full captured stream from its initial state. Lane resets are inside
+  // the timed region (the batch engine really pays them per device).
+  constexpr std::uint32_t kLanes = 4096;
+  constexpr std::uint32_t kTiles = 256;
+  std::vector<BatchCompiledMonitor> batch_machines;
+  batch_machines.reserve(art->compiled.size());
+  for (const CompiledMachine& machine : art->compiled) {
+    batch_machines.emplace_back(std::shared_ptr<const CompiledMachine>(art, &machine),
+                                kLanes);
+  }
+  std::vector<const MonitorEvent*> cursors(kLanes);
+  std::vector<BatchFailure> failures;
+  std::uint64_t batch_events = 0;
+  std::uint64_t batch_violations = 0;
+  const auto batch_start = std::chrono::steady_clock::now();
+  for (std::uint32_t tile = 0; tile < kTiles; ++tile) {
+    for (BatchCompiledMonitor& machine : batch_machines) {
+      machine.HardResetAll();
+    }
+    for (std::size_t pos = 0; pos < max_stream; ++pos) {
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+        const std::vector<MonitorEvent>& stream = streams[lane % kStreamDevices];
+        cursors[lane] = pos < stream.size() ? &stream[pos] : nullptr;
+      }
+      for (BatchCompiledMonitor& machine : batch_machines) {
+        failures.clear();
+        machine.StepBatch(cursors.data(), kLanes, &failures);
+        batch_violations += failures.size();
+      }
+    }
+    for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+      batch_events += streams[lane % kStreamDevices].size();
+    }
+  }
+  const auto batch_end = std::chrono::steady_clock::now();
+  const double batch_secs = Seconds(batch_start, batch_end);
+  const double batch_eps = static_cast<double>(batch_events) / batch_secs;
+  const double step_speedup = batch_eps / scalar_eps;
+  const double step_speedup_dm = batch_eps / scalar_dm_eps;
+  const std::uint64_t batch_devices = static_cast<std::uint64_t>(kLanes) * kTiles;
+
+  // All three passes must agree on what they saw (observe-only semantics).
+  const std::uint64_t scalar_rate_per_device = scalar_violations / kScalarDevices;
+  const std::uint64_t scalar_dm_rate_per_device = scalar_dm_violations / kScalarDevices;
+  const std::uint64_t batch_rate_per_device = batch_violations / batch_devices;
+  const bool verdict_parity = scalar_rate_per_device == batch_rate_per_device &&
+                              scalar_dm_rate_per_device == batch_rate_per_device;
+
+  std::printf("monitor stepping (device-events/sec):\n");
+  std::printf("  scalar, device-major  %10.0f  (%llu devices, %.3fs)\n", scalar_dm_eps,
+              static_cast<unsigned long long>(kScalarDevices), scalar_dm_secs);
+  std::printf("  scalar, time-slice    %10.0f  (%llu devices, %.3fs)\n", scalar_eps,
+              static_cast<unsigned long long>(kScalarDevices), scalar_secs);
+  std::printf("  batch SoA             %10.0f  (%llu devices, %.3fs)\n", batch_eps,
+              static_cast<unsigned long long>(batch_devices), batch_secs);
+  std::printf("  speedup vs time-slice %10.2fx  (vs device-major %.2fx)   "
+              "verdict parity: %s\n\n",
+              step_speedup, step_speedup_dm, verdict_parity ? "yes" : "NO");
+
+  // ---- (b) end-to-end fleet scaling + (c) shard determinism -------------
+  fleet::FleetSpec spec;
+  spec.app = "health";
+  spec.monitor = "batch";
+  spec.devices = 50'000;
+  spec.seed = 1;
+  spec.charges = {0, 6 * kMinute - kSecond};
+  spec.iterations = 1;
+  std::printf("end-to-end fleet (%llu devices, batch monitors):\n",
+              static_cast<unsigned long long>(spec.devices));
+  std::printf("%-8s %-10s %-14s %-8s\n", "shards", "seconds", "devices/sec", "speedup");
+  std::vector<ShardSample> shard_samples;
+  std::string json_shards1;
+  bool deterministic = true;
+  std::vector<std::uint64_t> handler_classes;
+  for (const int shards : {1, 2, 4, 8}) {
+    spec.shards = shards;
+    const auto start = std::chrono::steady_clock::now();
+    StatusOr<fleet::FleetOutcome> outcome = fleet::RunFleet(spec);
+    const auto end = std::chrono::steady_clock::now();
+    if (!outcome.ok() || !outcome.value().AllOk()) {
+      std::fprintf(stderr, "fleet_scaling: fleet failed at shards=%d\n", shards);
+      return 1;
+    }
+    const double seconds = Seconds(start, end);
+    const double dps = static_cast<double>(spec.devices) / seconds;
+    shard_samples.push_back({shards, seconds, dps});
+    std::printf("%-8d %-10.3f %-14.1f %-8.2f\n", shards, seconds, dps,
+                shard_samples.front().seconds / seconds);
+    const std::string json = fleet::RenderFleetJson(spec, outcome.value());
+    if (shards == 1) {
+      json_shards1 = json;
+      handler_classes = outcome.value().handler_classes;
+    } else if (json != json_shards1) {
+      deterministic = false;
+    }
+  }
+  std::printf("\nshards=8 JSON byte-identical to shards=1: %s\n",
+              deterministic ? "yes" : "NO");
+
+  const std::uint64_t total_instances =
+      batch_devices + kScalarDevices + 4 * spec.devices;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "fleet_scaling: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  char line[256];
+  out << "{\n  \"bench\": \"fleet_scaling\",\n  \"app\": \"health\",\n";
+  out << "  \"host_cpus\": " << host_cpus << ",\n";
+  out << "  \"host_note\": \"shard speedup is core-bound; on a single-CPU host all "
+         "configurations measure ~1x by construction\",\n";
+  out << "  \"device_instances_total\": " << total_instances << ",\n";
+  out << "  \"monitor_step\": {\n";
+  std::snprintf(line, sizeof(line),
+                "    \"scalar_devices\": %llu,\n    \"batch_devices\": %llu,\n",
+                static_cast<unsigned long long>(kScalarDevices),
+                static_cast<unsigned long long>(batch_devices));
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "    \"scalar_events_per_sec\": %.0f,\n"
+                "    \"scalar_device_major_events_per_sec\": %.0f,\n"
+                "    \"batch_events_per_sec\": %.0f,\n",
+                scalar_eps, scalar_dm_eps, batch_eps);
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "    \"batch_speedup\": %.2f,\n"
+                "    \"batch_speedup_vs_device_major\": %.2f,\n",
+                step_speedup, step_speedup_dm);
+  out << line;
+  out << "    \"scalar_order_note\": \"scalar_events_per_sec steps devices in "
+         "time-slice order (all devices advance through event position p before p+1, "
+         "the order a fleet runs in); the device-major figure is the cache-ideal "
+         "upper bound for scalar dispatch\",\n";
+  out << "    \"baseline_note\": \"the scalar baseline is the compiled VM "
+         "(superinstruction-fused bytecode, PR 1-2), not an interpreter — it already "
+         "dispatches in a few ns/step, which bounds how much the SoA pass can win; "
+         "numbers are single-run on a shared vCPU and vary ~20-30% between runs\",\n";
+  out << "    \"verdict_parity\": " << (verdict_parity ? "true" : "false") << "\n  },\n";
+  out << "  \"handler_classes\": [";
+  for (std::size_t i = 0; i < handler_classes.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << handler_classes[i];
+  }
+  out << "],\n";
+  out << "  \"fleet_devices\": " << spec.devices << ",\n";
+  out << "  \"scaling\": [\n";
+  for (std::size_t i = 0; i < shard_samples.size(); ++i) {
+    std::snprintf(line, sizeof(line),
+                  "    {\"shards\": %d, \"seconds\": %.3f, \"devices_per_sec\": %.1f, "
+                  "\"speedup\": %.3f}%s\n",
+                  shard_samples[i].shards, shard_samples[i].seconds,
+                  shard_samples[i].devices_per_sec,
+                  shard_samples.front().seconds / shard_samples[i].seconds,
+                  i + 1 < shard_samples.size() ? "," : "");
+    out << line;
+  }
+  out << "  ],\n";
+  out << "  \"deterministic_across_shards\": " << (deterministic ? "true" : "false")
+      << "\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return deterministic && verdict_parity ? 0 : 1;
+}

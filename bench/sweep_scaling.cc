@@ -1,4 +1,5 @@
-// Sweep-engine scaling: points/sec on the Figure 12 grid (20 points) at
+// Sweep-engine scaling: points/sec on the Figure 12 grid widened to 10
+// seeds per point (2 systems x 10 charges x 10 seeds = 200 points) at
 // 1/2/4/8 worker threads, plus the determinism check (the --jobs 8 JSON
 // export must be byte-identical to --jobs 1). Writes BENCH_sweep.json with
 // the measured numbers; docs/sweep.md records a reference run.
@@ -31,10 +32,14 @@ struct Sample {
 
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_sweep.json";
-  const sweep::SweepSpec grid = Fig12Grid();
+  sweep::SweepSpec grid = Fig12Grid();
+  grid.seeds.clear();
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    grid.seeds.push_back(seed);
+  }
   const unsigned host_cpus = std::thread::hardware_concurrency();
 
-  std::printf("=== Sweep engine scaling (fig12 grid, 20 points) ===\n");
+  std::printf("=== Sweep engine scaling (fig12 grid x 10 seeds, 200 points) ===\n");
   std::printf("host cpus: %u\n\n", host_cpus);
   std::printf("%-6s %-10s %-12s %-8s\n", "jobs", "seconds", "points/sec", "speedup");
 
@@ -42,9 +47,9 @@ int main(int argc, char** argv) {
   // allocator pools) don't bias the jobs=1 baseline.
   (void)sweep::RunSweep(grid, 1);
 
-  // The simulator is event-driven, so one 20-point grid takes well under a
-  // millisecond; repeat it enough times for a stable wall-clock sample.
-  constexpr int kReps = 200;
+  // The simulator is event-driven, so one 200-point grid takes only a few
+  // milliseconds; repeat it enough times for a stable wall-clock sample.
+  constexpr int kReps = 20;
   std::string json_jobs1;
   std::vector<Sample> samples;
   bool deterministic = true;
@@ -78,7 +83,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "sweep_scaling: cannot write %s\n", out_path.c_str());
     return 1;
   }
-  out << "{\n  \"bench\": \"sweep_scaling\",\n  \"grid\": \"fig12\",\n  \"points\": 20,\n";
+  out << "{\n  \"bench\": \"sweep_scaling\",\n  \"grid\": \"fig12 x 10 seeds\",\n  \"points\": "
+      << grid.systems.size() * grid.charges.size() * grid.seeds.size() << ",\n";
   out << "  \"host_cpus\": " << host_cpus << ",\n";
   out << "  \"deterministic_across_jobs\": " << (deterministic ? "true" : "false") << ",\n";
   out << "  \"samples\": [\n";

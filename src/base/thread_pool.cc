@@ -1,0 +1,73 @@
+#include "src/base/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace artemis {
+namespace {
+
+constexpr int kMaxWorkers = 64;
+
+}  // namespace
+
+int ClampWorkers(int requested, std::size_t max_useful) {
+  const std::size_t cap = std::min<std::size_t>(kMaxWorkers, std::max<std::size_t>(1, max_useful));
+  if (requested < 1) {
+    return 1;
+  }
+  return static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(requested), cap));
+}
+
+void RunWorkers(int workers, const std::function<void(int)>& body) {
+  if (workers <= 1) {
+    body(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&body, &first_error, &error_mu, w] {
+      try {
+        body(w);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+void ParallelFor(int workers, std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  RunWorkers(workers, [&next, n, &body](int /*worker*/) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      body(i);
+    }
+  });
+}
+
+}  // namespace artemis

@@ -1,0 +1,48 @@
+// Shared worker-thread primitives for the parallel engines.
+//
+// Both parallel surfaces in the codebase — the scenario-sweep grid
+// executor (src/sweep) and the fleet shard scheduler (src/fleet) — follow
+// the same fork/join shape: spawn W workers, give each a stable worker
+// index, join them all before returning. This header is the one
+// implementation of that shape (and therefore the one Tsan target).
+//
+// Two entry points:
+//
+//  * RunWorkers(workers, body): runs body(w) for w in [0, workers) on
+//    `workers` threads and joins them. The caller owns all work
+//    partitioning — this is what static sharding (fleet's cpu-map) uses,
+//    since each worker's slice is decided before any thread starts and
+//    no cross-thread coordination happens on the hot path.
+//
+//  * ParallelFor(workers, n, body): runs body(i) for i in [0, n) with
+//    indices claimed dynamically from a shared atomic counter — what the
+//    sweep engine uses, where per-point cost varies wildly across the
+//    grid and static slices would leave workers idle.
+//
+// Both run inline on the caller's thread when workers <= 1 (no thread is
+// spawned), so single-job runs have zero threading overhead and identical
+// stacks to the parallel path. Exceptions thrown by a body propagate out
+// of the spawning call after all workers join (first one wins).
+#ifndef SRC_BASE_THREAD_POOL_H_
+#define SRC_BASE_THREAD_POOL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace artemis {
+
+// Clamps a requested worker count to [1, max_useful] (and to the 64-thread
+// sanity cap shared by sweep and fleet). `max_useful` is typically the
+// number of work items; 0 yields 1.
+int ClampWorkers(int requested, std::size_t max_useful);
+
+// Runs body(worker_index) on `workers` threads and joins them.
+void RunWorkers(int workers, const std::function<void(int)>& body);
+
+// Runs body(i) for every i in [0, n), claiming indices from a shared
+// atomic counter across `workers` threads.
+void ParallelFor(int workers, std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace artemis
+
+#endif  // SRC_BASE_THREAD_POOL_H_

@@ -1,0 +1,544 @@
+#include "src/fleet/fleet.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "src/apps/ar_app.h"
+#include "src/apps/greenhouse_app.h"
+#include "src/apps/health_app.h"
+#include "src/base/thread_pool.h"
+#include "src/monitor/arbitration.h"
+#include "src/monitor/compiled_batch.h"
+#include "src/sweep/sweep.h"
+
+namespace artemis::fleet {
+namespace {
+
+StatusOr<std::string> DefaultSpecForApp(const std::string& app) {
+  if (app == "health") {
+    return HealthAppSpec();
+  }
+  if (app == "greenhouse") {
+    return GreenhouseSpec();
+  }
+  if (app == "ar") {
+    return ArAppSpec();
+  }
+  return Status::Invalid("fleet: unknown app '" + app + "' (health|greenhouse|ar)");
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string U64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+// Fixed-precision ratio of two integers: deterministic for any shard
+// count because both operands are shard-order-independent integers.
+std::string Ratio(std::uint64_t num, std::uint64_t den) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9f", den == 0 ? 0.0 : static_cast<double>(num) / den);
+  return buf;
+}
+
+// One shard's batch-mode monitor engine: lanes over every compiled
+// machine of the artifact, stepped tile by tile.
+class TileStepper {
+ public:
+  TileStepper(const SharedSpecArtifactPtr& artifact, std::uint32_t lanes,
+              ArbitrationPolicy policy)
+      : policy_(policy), lanes_(lanes) {
+    machines_.reserve(artifact->compiled.size());
+    for (const CompiledMachine& machine : artifact->compiled) {
+      // Aliasing share: the batch monitors borrow the artifact's immutable
+      // machine storage, exactly like scalar CompiledMonitor instances do.
+      machines_.emplace_back(
+          std::shared_ptr<const CompiledMachine>(artifact, &machine), lanes);
+    }
+    failures_.resize(machines_.size());
+    pending_.resize(lanes);
+    cursors_.resize(lanes);
+    events_.resize(lanes);
+  }
+
+  std::vector<std::uint64_t> ClassHistogram() const {
+    std::vector<std::uint64_t> counts(5, 0);
+    for (const BatchCompiledMonitor& m : machines_) {
+      const std::vector<std::uint64_t> h = m.ClassHistogram();
+      for (std::size_t i = 0; i < h.size(); ++i) {
+        counts[i] += h[i];
+      }
+    }
+    return counts;
+  }
+
+  // Advances every device of the tile through its captured stream and
+  // fills the per-device monitor_events / violations counters. `streams`
+  // and `results` are parallel, sized n <= lanes.
+  void RunTile(std::vector<std::vector<CapturedRecord>>& streams,
+               std::vector<DeviceResult*>& results) {
+    const std::uint32_t n = static_cast<std::uint32_t>(streams.size());
+    for (std::uint32_t lane = 0; lane < n; ++lane) {
+      cursors_[lane] = 0;
+      for (BatchCompiledMonitor& m : machines_) {
+        m.HardResetLane(lane);
+      }
+    }
+    for (;;) {
+      // Feed each lane's cursor: replay path-restart markers in place,
+      // then expose the next event (or mark the lane exhausted).
+      bool any = false;
+      for (std::uint32_t lane = 0; lane < n; ++lane) {
+        std::vector<CapturedRecord>& stream = streams[lane];
+        std::size_t& cur = cursors_[lane];
+        while (cur < stream.size() &&
+               stream[cur].kind == CapturedRecord::Kind::kPathRestart) {
+          for (BatchCompiledMonitor& m : machines_) {
+            m.OnPathRestartLane(lane, stream[cur].restart_path);
+          }
+          ++cur;
+        }
+        if (cur < stream.size()) {
+          events_[lane] = &stream[cur].event;
+          any = true;
+        } else {
+          events_[lane] = nullptr;
+        }
+      }
+      if (!any) {
+        return;
+      }
+      // One SoA pass per machine over the whole tile; failures come back
+      // as compact lists, so the common all-clear round writes nothing.
+      for (std::size_t m = 0; m < machines_.size(); ++m) {
+        failures_[m].clear();
+        machines_[m].StepBatch(events_.data(), n, &failures_[m]);
+      }
+      // Group the (rare) failures per lane — machine-outer iteration keeps
+      // each lane's pending list in machine order, mirroring MonitorSet's
+      // per-event pending/Arbitrate cycle.
+      touched_.clear();
+      for (std::size_t m = 0; m < machines_.size(); ++m) {
+        for (const BatchFailure& f : failures_[m]) {
+          if (pending_[f.lane].empty()) {
+            touched_.push_back(f.lane);
+          }
+          MonitorVerdict verdict;
+          verdict.action = f.action;
+          verdict.target_path = f.target_path;
+          verdict.property = machines_[m].fail_record(f.fail_index).property;
+          pending_[f.lane].push_back(std::move(verdict));
+        }
+      }
+      for (std::uint32_t lane = 0; lane < n; ++lane) {
+        if (events_[lane] == nullptr) {
+          continue;
+        }
+        ++results[lane]->monitor_events;
+        ++cursors_[lane];
+      }
+      for (const std::uint32_t lane : touched_) {
+        const MonitorVerdict verdict = Arbitrate(pending_[lane], policy_);
+        if (verdict.violated()) {
+          ++results[lane]->violations;
+        }
+        pending_[lane].clear();
+      }
+    }
+  }
+
+ private:
+  ArbitrationPolicy policy_;
+  std::uint32_t lanes_ = 0;
+  std::vector<BatchCompiledMonitor> machines_;
+  std::vector<std::vector<BatchFailure>> failures_;   // [machine], reused
+  std::vector<std::vector<MonitorVerdict>> pending_;  // [lane], cleared after use
+  std::vector<std::uint32_t> touched_;                // lanes with pending verdicts
+  std::vector<std::size_t> cursors_;                  // [lane]
+  std::vector<const MonitorEvent*> events_;           // [lane]
+};
+
+}  // namespace
+
+std::vector<ShardRange> BuildCpuMap(std::uint64_t devices, int shards) {
+  const std::uint64_t j =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::max(shards, 1)));
+  std::vector<ShardRange> map;
+  map.reserve(j);
+  const std::uint64_t base = devices / j;
+  const std::uint64_t spare = devices % j;
+  std::uint64_t begin = 0;
+  for (std::uint64_t s = 0; s < j; ++s) {
+    const std::uint64_t size = base + (s < spare ? 1 : 0);
+    map.push_back(ShardRange{begin, begin + size});
+    begin += size;
+  }
+  return map;
+}
+
+void FleetHistogram::Record(std::uint64_t sample) {
+  int bucket = 0;
+  for (std::uint64_t v = sample; v > 0; v >>= 1) {
+    ++bucket;
+  }
+  // bucket b holds samples in [2^(b-1), 2^b), bucket 0 holds zeros.
+  ++buckets_[std::min(bucket, kBuckets - 1)];
+  if (count_ == 0 || sample < min_) {
+    min_ = sample;
+  }
+  max_ = std::max(max_, sample);
+  sum_ += sample;
+  ++count_;
+}
+
+void FleetHistogram::MergeFrom(const FleetHistogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0 || other.min_ < min_) {
+    min_ = other.min_;
+  }
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+std::uint64_t FleetHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  const double clamped = std::min(std::max(p, 0.0), 1.0);
+  std::uint64_t rank = static_cast<std::uint64_t>(clamped * static_cast<double>(count_));
+  if (rank == 0) {
+    rank = 1;
+  }
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      if (i == 0) {
+        return 0;
+      }
+      // Upper bound of the bucket, clamped into the observed range.
+      const std::uint64_t bound =
+          i >= 64 ? std::numeric_limits<std::uint64_t>::max() : (1ull << i) - 1;
+      return std::min(bound, max_);
+    }
+  }
+  return max_;
+}
+
+std::string FleetHistogram::Summary() const {
+  return "n=" + U64(count_) + " min=" + U64(min()) + " p50=" + U64(Percentile(0.50)) +
+         " p90=" + U64(Percentile(0.90)) + " p99=" + U64(Percentile(0.99)) +
+         " max=" + U64(max_);
+}
+
+void FleetAggregates::Fold(const DeviceResult& result) {
+  ++devices;
+  if (!result.ok) {
+    ++errors;
+    if (first_error.empty()) {
+      first_error = result.error;
+    }
+    return;
+  }
+  completed += result.completed ? 1 : 0;
+  starved += result.starved ? 1 : 0;
+  timed_out += result.timed_out ? 1 : 0;
+  iterations += result.iterations;
+  reboots += result.reboots;
+  charging_us += result.charging_us;
+  energy_nj += result.energy_nj;
+  monitor_energy_nj += result.monitor_energy_nj;
+  monitor_events += result.monitor_events;
+  violations += result.violations;
+  devices_with_violations += result.violations > 0 ? 1 : 0;
+  commits += result.commits;
+  aborts += result.aborts;
+  skips += result.skips;
+  energy_uj_hist.Record(result.energy_nj / 1000);
+  violations_hist.Record(result.violations);
+  attempts_hist.Record(result.max_attempts_per_commit);
+  if (result.has_obs) {
+    has_obs = true;
+    for (int k = 0; k < obs::kNumKinds; ++k) {
+      obs_counts[static_cast<std::size_t>(k)] += result.obs_counts[static_cast<std::size_t>(k)];
+    }
+    obs_total += result.obs_total;
+    obs_completed_paths += result.obs_completed_paths;
+    obs_committed_bytes += result.obs_committed_bytes;
+  }
+}
+
+void FleetAggregates::MergeFrom(const FleetAggregates& other) {
+  devices += other.devices;
+  errors += other.errors;
+  if (first_error.empty()) {
+    first_error = other.first_error;
+  }
+  completed += other.completed;
+  starved += other.starved;
+  timed_out += other.timed_out;
+  iterations += other.iterations;
+  reboots += other.reboots;
+  charging_us += other.charging_us;
+  energy_nj += other.energy_nj;
+  monitor_energy_nj += other.monitor_energy_nj;
+  monitor_events += other.monitor_events;
+  violations += other.violations;
+  devices_with_violations += other.devices_with_violations;
+  commits += other.commits;
+  aborts += other.aborts;
+  skips += other.skips;
+  energy_uj_hist.MergeFrom(other.energy_uj_hist);
+  violations_hist.MergeFrom(other.violations_hist);
+  attempts_hist.MergeFrom(other.attempts_hist);
+  has_obs = has_obs || other.has_obs;
+  for (int k = 0; k < obs::kNumKinds; ++k) {
+    obs_counts[static_cast<std::size_t>(k)] += other.obs_counts[static_cast<std::size_t>(k)];
+  }
+  obs_total += other.obs_total;
+  obs_completed_paths += other.obs_completed_paths;
+  obs_committed_bytes += other.obs_committed_bytes;
+}
+
+DeviceConfig ConfigForDevice(const FleetSpec& spec, std::uint64_t index) {
+  DeviceConfig config;
+  config.index = index;
+  config.seed = DeviceSeed(spec.seed, index);
+  config.charge = spec.charges.empty() ? 0 : spec.charges[index % spec.charges.size()];
+  config.budget = spec.budgets.empty() ? 19'500.0 : spec.budgets[index % spec.budgets.size()];
+  config.backend = spec.backend;
+  config.iterations = spec.iterations;
+  config.horizon = spec.horizon;
+  if (spec.max_steps != 0) {
+    config.max_steps = spec.max_steps;
+  } else {
+    // Sweep-parity default for finite runs; horizon mode is bounded by
+    // simulated time, so the step valve moves out of the way.
+    config.max_steps = spec.iterations == 0 ? (1ull << 62) : 2'000'000;
+  }
+  config.collect_obs = spec.collect_obs;
+  return config;
+}
+
+StatusOr<FleetOutcome> RunFleet(const FleetSpec& spec) {
+  if (spec.devices == 0) {
+    return Status::Invalid("fleet: need at least one device");
+  }
+  if (spec.monitor != "scalar" && spec.monitor != "batch") {
+    return Status::Invalid("fleet: unknown monitor mode '" + spec.monitor +
+                           "' (scalar|batch)");
+  }
+  if (spec.monitor == "batch" && spec.backend != MonitorBackend::kCompiled) {
+    return Status::Invalid("fleet: batch monitor mode requires the compiled backend");
+  }
+  if (spec.charges.empty() || spec.budgets.empty()) {
+    return Status::Invalid("fleet: charges/budgets axes must be non-empty");
+  }
+  if (spec.tile == 0) {
+    return Status::Invalid("fleet: tile must be >= 1");
+  }
+
+  std::string spec_text = spec.spec_text;
+  if (spec_text.empty()) {
+    StatusOr<std::string> fallback = DefaultSpecForApp(spec.app);
+    if (!fallback.ok()) {
+      return fallback.status();
+    }
+    spec_text = std::move(fallback).value();
+  }
+
+  // One pipeline run for the whole fleet: parse/validate/lower/compile
+  // against a template graph, shared read-only across every shard.
+  const AppGraph template_graph = sweep::BuildAppGraphByName(spec.app);
+  const SpecArtifactStage stage = spec.monitor == "batch"
+                                      ? SpecArtifactStage::kCompiled
+                                      : StageForBackend(spec.backend);
+  StatusOr<SharedSpecArtifactPtr> artifact = BuildSpecArtifact(spec_text, template_graph, stage);
+  if (!artifact.ok()) {
+    return artifact.status();
+  }
+
+  FleetContext ctx;
+  ctx.app = spec.app;
+  ctx.artifact = artifact.value();
+
+  const int shards = ClampWorkers(spec.shards, static_cast<std::size_t>(std::min<std::uint64_t>(
+                                                   spec.devices, 64)));
+  const std::vector<ShardRange> cpu_map = BuildCpuMap(spec.devices, shards);
+  std::vector<FleetAggregates> partials(cpu_map.size());
+
+  RunWorkers(shards, [&](int worker) {
+    const ShardRange range = cpu_map[static_cast<std::size_t>(worker)];
+    FleetAggregates& agg = partials[static_cast<std::size_t>(worker)];
+    if (spec.monitor == "scalar") {
+      for (std::uint64_t i = range.begin; i < range.end; ++i) {
+        DeviceInstance instance(ctx, ConfigForDevice(spec, i));
+        agg.Fold(instance.RunScalar());
+      }
+      return;
+    }
+    // Batch mode: simulate a tile of devices (capturing their monitor
+    // traffic), advance all their monitors together, fold, reuse the
+    // tile buffers for the next slice of the range.
+    TileStepper stepper(ctx.artifact, spec.tile, ArbitrationPolicy::kSeverity);
+    std::vector<DeviceResult> results(spec.tile);
+    std::vector<std::vector<CapturedRecord>> streams;
+    std::vector<DeviceResult*> result_ptrs;
+    for (std::uint64_t begin = range.begin; begin < range.end; begin += spec.tile) {
+      const std::uint64_t end = std::min<std::uint64_t>(begin + spec.tile, range.end);
+      const std::uint32_t n = static_cast<std::uint32_t>(end - begin);
+      streams.assign(n, {});
+      result_ptrs.assign(n, nullptr);
+      for (std::uint32_t lane = 0; lane < n; ++lane) {
+        DeviceInstance instance(ctx, ConfigForDevice(spec, begin + lane));
+        results[lane] = instance.RunCapture(&streams[lane]);
+        result_ptrs[lane] = &results[lane];
+      }
+      stepper.RunTile(streams, result_ptrs);
+      for (std::uint32_t lane = 0; lane < n; ++lane) {
+        agg.Fold(results[lane]);
+      }
+    }
+  });
+
+  FleetOutcome outcome;
+  outcome.devices = spec.devices;
+  outcome.shards = shards;
+  for (const FleetAggregates& partial : partials) {
+    outcome.agg.MergeFrom(partial);
+  }
+  if (spec.monitor == "batch") {
+    TileStepper probe(ctx.artifact, 1, ArbitrationPolicy::kSeverity);
+    outcome.handler_classes = probe.ClassHistogram();
+  }
+  return outcome;
+}
+
+std::string RenderFleetJson(const FleetSpec& spec, const FleetOutcome& outcome) {
+  const FleetAggregates& a = outcome.agg;
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"artemis-fleet/1\",\n";
+  out += "  \"app\": \"" + JsonEscape(spec.app) + "\",\n";
+  out += "  \"spec\": \"" + JsonEscape(spec.spec_label) + "\",\n";
+  out += "  \"backend\": \"" + std::string(MonitorBackendName(spec.backend)) + "\",\n";
+  out += "  \"monitor_mode\": \"" + JsonEscape(spec.monitor) + "\",\n";
+  out += "  \"devices\": " + U64(spec.devices) + ",\n";
+  out += "  \"seed\": " + U64(spec.seed) + ",\n";
+  out += "  \"iterations\": " + U64(spec.iterations) + ",\n";
+  out += "  \"horizon_us\": " + U64(spec.horizon) + ",\n";
+  out += "  \"charges_us\": [";
+  for (std::size_t i = 0; i < spec.charges.size(); ++i) {
+    out += (i == 0 ? "" : ", ") + U64(spec.charges[i]);
+  }
+  out += "],\n";
+  out += "  \"aggregates\": {\n";
+  out += "    \"devices\": " + U64(a.devices) + ",\n";
+  out += "    \"errors\": " + U64(a.errors) + ",\n";
+  out += "    \"completed\": " + U64(a.completed) + ",\n";
+  out += "    \"starved\": " + U64(a.starved) + ",\n";
+  out += "    \"timed_out\": " + U64(a.timed_out) + ",\n";
+  out += "    \"iterations\": " + U64(a.iterations) + ",\n";
+  out += "    \"reboots\": " + U64(a.reboots) + ",\n";
+  out += "    \"charging_us\": " + U64(a.charging_us) + ",\n";
+  out += "    \"energy_nj\": " + U64(a.energy_nj) + ",\n";
+  out += "    \"monitor_energy_nj\": " + U64(a.monitor_energy_nj) + ",\n";
+  out += "    \"monitor_share\": " + Ratio(a.monitor_energy_nj, a.energy_nj) + ",\n";
+  out += "    \"monitor_events\": " + U64(a.monitor_events) + ",\n";
+  out += "    \"violations\": " + U64(a.violations) + ",\n";
+  out += "    \"violation_rate\": " + Ratio(a.violations, a.monitor_events) + ",\n";
+  out += "    \"devices_with_violations\": " + U64(a.devices_with_violations) + ",\n";
+  out += "    \"commits\": " + U64(a.commits) + ",\n";
+  out += "    \"aborts\": " + U64(a.aborts) + ",\n";
+  out += "    \"skips\": " + U64(a.skips) + "\n";
+  out += "  },\n";
+  out += "  \"energy_uj\": \"" + a.energy_uj_hist.Summary() + "\",\n";
+  out += "  \"violations_per_device\": \"" + a.violations_hist.Summary() + "\",\n";
+  out += "  \"attempts_per_commit\": \"" + a.attempts_hist.Summary() + "\"";
+  if (a.has_obs) {
+    out += ",\n  \"obs\": {\n";
+    out += "    \"total_events\": " + U64(a.obs_total) + ",\n";
+    out += "    \"completed_paths\": " + U64(a.obs_completed_paths) + ",\n";
+    out += "    \"committed_bytes\": " + U64(a.obs_committed_bytes) + ",\n";
+    out += "    \"counts\": {";
+    bool first = true;
+    for (int k = 0; k < obs::kNumKinds; ++k) {
+      const std::uint64_t count = a.obs_counts[static_cast<std::size_t>(k)];
+      if (count == 0) {
+        continue;
+      }
+      out += std::string(first ? "" : ", ") + "\"" +
+             obs::KindName(static_cast<obs::Kind>(k)) + "\": " + U64(count);
+      first = false;
+    }
+    out += "}\n  }";
+  }
+  if (!a.first_error.empty()) {
+    out += ",\n  \"first_error\": \"" + JsonEscape(a.first_error) + "\"";
+  }
+  out += ",\n  \"ok\": ";
+  out += outcome.AllOk() ? "true" : "false";
+  out += "\n}\n";
+  return out;
+}
+
+std::string RenderFleetTable(const FleetSpec& spec, const FleetOutcome& outcome) {
+  const FleetAggregates& a = outcome.agg;
+  std::string out;
+  out += "fleet: app=" + spec.app + " spec=" + spec.spec_label +
+         " backend=" + MonitorBackendName(spec.backend) + " monitor=" + spec.monitor +
+         " devices=" + U64(spec.devices) + " seed=" + U64(spec.seed) + "\n";
+  out += "outcomes: completed=" + U64(a.completed) + " timed_out=" + U64(a.timed_out) +
+         " starved=" + U64(a.starved) + " errors=" + U64(a.errors) + "\n";
+  out += "kernel: iterations=" + U64(a.iterations) + " reboots=" + U64(a.reboots) +
+         " commits=" + U64(a.commits) + " aborts=" + U64(a.aborts) + " skips=" +
+         U64(a.skips) + "\n";
+  out += "monitor: events=" + U64(a.monitor_events) + " violations=" + U64(a.violations) +
+         " violation_rate=" + Ratio(a.violations, a.monitor_events) +
+         " devices_with_violations=" + U64(a.devices_with_violations) + "\n";
+  out += "energy: total_nj=" + U64(a.energy_nj) + " monitor_nj=" + U64(a.monitor_energy_nj) +
+         " monitor_share=" + Ratio(a.monitor_energy_nj, a.energy_nj) + "\n";
+  out += "energy_uj: " + a.energy_uj_hist.Summary() + "\n";
+  out += "violations_per_device: " + a.violations_hist.Summary() + "\n";
+  out += "attempts_per_commit: " + a.attempts_hist.Summary() + "\n";
+  if (!a.first_error.empty()) {
+    out += "first_error: " + a.first_error + "\n";
+  }
+  return out;
+}
+
+}  // namespace artemis::fleet

@@ -17,17 +17,9 @@
 
 #include "src/ir/compile.h"
 #include "src/monitor/monitor.h"
+#include "src/monitor/vm_core.h"
 
 namespace artemis {
-
-// The VM body is large, so compilers refuse to inline it on their own —
-// but inlining it into a sweep loop is exactly the point of defining it in
-// the header (the caller keeps the event and verdict in registers).
-#if defined(__GNUC__) || defined(__clang__)
-#define ARTEMIS_VM_INLINE inline __attribute__((always_inline))
-#else
-#define ARTEMIS_VM_INLINE inline
-#endif
 
 class CompiledMonitor final : public Monitor {
  public:
@@ -39,10 +31,11 @@ class CompiledMonitor final : public Monitor {
   // machine concurrently while each keeps its own state/slot/stack arrays.
   explicit CompiledMonitor(std::shared_ptr<const CompiledMachine> machine);
 
-  // Step and RunHandler are defined inline (below) so host-side sweep
-  // loops that hold a CompiledMonitor by concrete type get the whole VM
-  // inlined into their event loop — the class is final, so such calls
-  // devirtualize, and keeping the body visible lets them also inline.
+  // Step is defined inline (below, on top of the shared VM core in
+  // vm_core.h) so host-side sweep loops that hold a CompiledMonitor by
+  // concrete type get the whole VM inlined into their event loop — the
+  // class is final, so such calls devirtualize, and keeping the body
+  // visible lets them also inline.
   bool Step(const MonitorEvent& event, MonitorVerdict* verdict) override;
   void HardReset() override;
   void OnPathRestart(PathId path) override;
@@ -56,27 +49,6 @@ class CompiledMonitor final : public Monitor {
   const CompiledMachine& machine() const { return *machine_; }
 
  private:
-  // Runs the handler program at `pc` to completion: tries each inlined
-  // candidate transition in order, commits the first whose guard passes,
-  // and returns true if its body executed a kFail.
-  bool RunHandler(std::uint32_t pc, const MonitorEvent& event, MonitorVerdict* verdict);
-
-  static double FieldValue(EventField field, const MonitorEvent& event) {
-    switch (field) {
-      case EventField::kTimestamp:
-        return static_cast<double>(event.timestamp);
-      case EventField::kDepData:
-        return event.dep_data;
-      case EventField::kHasDepData:
-        return event.has_dep_data ? 1.0 : 0.0;
-      case EventField::kEnergyFraction:
-        return event.energy_fraction;
-      case EventField::kPath:
-        return static_cast<double>(event.path);
-    }
-    return 0.0;
-  }
-
   std::shared_ptr<const CompiledMachine> machine_;
   // FRAM-resident execution state: dense state id + variable slots.
   std::uint16_t current_ = 0;
@@ -85,224 +57,21 @@ class CompiledMonitor final : public Monitor {
   std::vector<double> stack_;
 };
 
-// Dispatch strategy: a plain for(;;)+switch loop. A threaded-dispatch
-// variant (GNU labels-as-values) was measured and rejected: it prevents
-// inlining RunHandler into devirtualized callers and benchmarked ~25%
-// slower than the switch on the health-app hot loop.
-ARTEMIS_VM_INLINE bool CompiledMonitor::RunHandler(std::uint32_t pc, const MonitorEvent& event,
-                                                   MonitorVerdict* verdict) {
-  const Instr* const code = machine_->code.data();
-  const double* const consts = machine_->const_pool.data();
-  double* const slots = slots_.data();
-  double* sp = stack_.data();  // points one past the top of stack
-  bool failed = false;
-  for (;;) {
-    const Instr in = code[pc++];
-    switch (in.op) {
-      case OpCode::kPushConst:
-        *sp++ = consts[in.operand];
-        break;
-      case OpCode::kPushSlot:
-        *sp++ = slots[in.operand];
-        break;
-      case OpCode::kPushField:
-        *sp++ = FieldValue(static_cast<EventField>(in.operand), event);
-        break;
-      case OpCode::kAdd:
-        sp[-2] = sp[-2] + sp[-1];
-        --sp;
-        break;
-      case OpCode::kSub:
-        sp[-2] = sp[-2] - sp[-1];
-        --sp;
-        break;
-      case OpCode::kMul:
-        sp[-2] = sp[-2] * sp[-1];
-        --sp;
-        break;
-      case OpCode::kDiv:
-        sp[-2] = sp[-1] != 0.0 ? sp[-2] / sp[-1] : 0.0;
-        --sp;
-        break;
-      case OpCode::kLt:
-        sp[-2] = sp[-2] < sp[-1] ? 1.0 : 0.0;
-        --sp;
-        break;
-      case OpCode::kLe:
-        sp[-2] = sp[-2] <= sp[-1] ? 1.0 : 0.0;
-        --sp;
-        break;
-      case OpCode::kGt:
-        sp[-2] = sp[-2] > sp[-1] ? 1.0 : 0.0;
-        --sp;
-        break;
-      case OpCode::kGe:
-        sp[-2] = sp[-2] >= sp[-1] ? 1.0 : 0.0;
-        --sp;
-        break;
-      case OpCode::kEq:
-        sp[-2] = sp[-2] == sp[-1] ? 1.0 : 0.0;
-        --sp;
-        break;
-      case OpCode::kNe:
-        sp[-2] = sp[-2] != sp[-1] ? 1.0 : 0.0;
-        --sp;
-        break;
-      case OpCode::kAnd:
-        sp[-2] = (sp[-2] != 0.0 && sp[-1] != 0.0) ? 1.0 : 0.0;
-        --sp;
-        break;
-      case OpCode::kOr:
-        sp[-2] = (sp[-2] != 0.0 || sp[-1] != 0.0) ? 1.0 : 0.0;
-        --sp;
-        break;
-      case OpCode::kNot:
-        sp[-1] = sp[-1] == 0.0 ? 1.0 : 0.0;
-        break;
-      case OpCode::kNeg:
-        sp[-1] = -sp[-1];
-        break;
-      case OpCode::kStoreSlot:
-        slots[in.operand] = *--sp;
-        break;
-      case OpCode::kStoreField:
-        slots[in.operand & 0xFFFF] =
-            FieldValue(static_cast<EventField>(in.operand >> 16), event);
-        break;
-      case OpCode::kFieldMinusSlot:
-        *sp++ = FieldValue(static_cast<EventField>(in.operand >> 16), event) -
-                slots[in.operand & 0xFFFF];
-        break;
-      case OpCode::kAddConstSlot:
-        slots[in.operand & 0xFFFF] += consts[in.operand >> 16];
-        break;
-      case OpCode::kJumpIfZero:
-        if (*--sp == 0.0) {
-          pc = in.operand;
-        }
-        break;
-      case OpCode::kJump:
-        pc = in.operand;
-        break;
-      case OpCode::kJumpIfNotLt:
-        sp -= 2;
-        if (!(sp[0] < sp[1])) {
-          pc = in.operand;
-        }
-        break;
-      case OpCode::kJumpIfNotLe:
-        sp -= 2;
-        if (!(sp[0] <= sp[1])) {
-          pc = in.operand;
-        }
-        break;
-      case OpCode::kJumpIfNotGt:
-        sp -= 2;
-        if (!(sp[0] > sp[1])) {
-          pc = in.operand;
-        }
-        break;
-      case OpCode::kJumpIfNotGe:
-        sp -= 2;
-        if (!(sp[0] >= sp[1])) {
-          pc = in.operand;
-        }
-        break;
-      case OpCode::kJumpIfNotEq:
-        sp -= 2;
-        if (!(sp[0] == sp[1])) {
-          pc = in.operand;
-        }
-        break;
-      case OpCode::kJumpIfNotNe:
-        sp -= 2;
-        if (!(sp[0] != sp[1])) {
-          pc = in.operand;
-        }
-        break;
-      case OpCode::kJumpIfNotAnd:
-        sp -= 2;
-        if (sp[0] == 0.0 || sp[1] == 0.0) {
-          pc = in.operand;
-        }
-        break;
-      case OpCode::kJumpIfNotOr:
-        sp -= 2;
-        if (sp[0] == 0.0 && sp[1] == 0.0) {
-          pc = in.operand;
-        }
-        break;
-      // Three-word instructions: the first word packs field/slot, the two
-      // extension words hold the const-pool index and the jump target.
-#define ARTEMIS_VM_ELAPSED_CASE(name, cmp)                                            \
-  case OpCode::name: {                                                                \
-    const double a = FieldValue(static_cast<EventField>(in.operand >> 16), event) -   \
-                     slots[in.operand & 0xFFFF];                                      \
-    if (!(a cmp consts[code[pc].operand])) {                                          \
-      pc = code[pc + 1].operand;                                                      \
-    } else {                                                                          \
-      pc += 2;                                                                        \
-    }                                                                                 \
-    break;                                                                            \
-  }
-      ARTEMIS_VM_ELAPSED_CASE(kJumpIfNotElapsedLt, <)
-      ARTEMIS_VM_ELAPSED_CASE(kJumpIfNotElapsedLe, <=)
-      ARTEMIS_VM_ELAPSED_CASE(kJumpIfNotElapsedGt, >)
-      ARTEMIS_VM_ELAPSED_CASE(kJumpIfNotElapsedGe, >=)
-      ARTEMIS_VM_ELAPSED_CASE(kJumpIfNotElapsedEq, ==)
-      ARTEMIS_VM_ELAPSED_CASE(kJumpIfNotElapsedNe, !=)
-#undef ARTEMIS_VM_ELAPSED_CASE
-      // Whole-transition fusions: one dispatch handles the entire event.
-      case OpCode::kStoreFieldCommit:
-        slots[in.operand & 0xFFFF] =
-            FieldValue(static_cast<EventField>(in.operand >> 16), event);
-        current_ = static_cast<std::uint16_t>(code[pc].operand);
-        return failed;
-// Four words: [op, field<<16|slot] [const-pool index] [jump target]
-// [destination state]. Guard failure jumps to the next candidate; guard
-// success commits immediately (the fused body is empty by construction).
-#define ARTEMIS_VM_GUARD_COMMIT_CASE(name, cmp)                                        \
-  case OpCode::name: {                                                                 \
-    const double a = FieldValue(static_cast<EventField>(in.operand >> 16), event) -    \
-                     slots[in.operand & 0xFFFF];                                       \
-    if (!(a cmp consts[code[pc].operand])) {                                           \
-      pc = code[pc + 1].operand;                                                       \
-      break;                                                                           \
-    }                                                                                  \
-    current_ = static_cast<std::uint16_t>(code[pc + 2].operand);                       \
-    return failed;                                                                     \
-  }
-      ARTEMIS_VM_GUARD_COMMIT_CASE(kGuardCommitElapsedLt, <)
-      ARTEMIS_VM_GUARD_COMMIT_CASE(kGuardCommitElapsedLe, <=)
-      ARTEMIS_VM_GUARD_COMMIT_CASE(kGuardCommitElapsedGt, >)
-      ARTEMIS_VM_GUARD_COMMIT_CASE(kGuardCommitElapsedGe, >=)
-      ARTEMIS_VM_GUARD_COMMIT_CASE(kGuardCommitElapsedEq, ==)
-      ARTEMIS_VM_GUARD_COMMIT_CASE(kGuardCommitElapsedNe, !=)
-#undef ARTEMIS_VM_GUARD_COMMIT_CASE
-      case OpCode::kExtend:
-        break;  // Operand word; only reached if jumped over, never dispatched.
-      case OpCode::kFail: {
-        const FailRecord& fail = machine_->fail_pool[in.operand];
-        verdict->action = fail.action;
-        verdict->target_path = fail.target_path;
-        verdict->property = fail.property;
-        failed = true;  // Last failure wins, as in ExecStmts.
-        break;
-      }
-      case OpCode::kCommit:
-        current_ = static_cast<std::uint16_t>(in.operand);
-        return failed;
-      case OpCode::kNoMatch:
-        return false;  // Implicit self-transition.
-    }
-  }
-}
-
 inline bool CompiledMonitor::Step(const MonitorEvent& event, MonitorVerdict* verdict) {
   if (machine_->path_scope != kNoPath && event.path != machine_->path_scope) {
     return false;  // Out-of-scope events are invisible to this machine.
   }
-  return RunHandler(machine_->HandlerFor(current_, event.kind, event.task), event, verdict);
+  VmFailure failure;
+  const bool failed =
+      RunCompiledHandler(*machine_, machine_->HandlerFor(current_, event.kind, event.task),
+                         event, &current_, slots_.data(), stack_.data(), &failure);
+  if (failed) {
+    const FailRecord& fail = machine_->fail_pool[failure.fail_index];
+    verdict->action = fail.action;
+    verdict->target_path = fail.target_path;
+    verdict->property = fail.property;
+  }
+  return failed;
 }
 
 }  // namespace artemis

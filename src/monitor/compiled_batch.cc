@@ -1,0 +1,230 @@
+#include "src/monitor/compiled_batch.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace artemis {
+
+BatchCompiledMonitor::BatchCompiledMonitor(std::shared_ptr<const CompiledMachine> machine,
+                                           std::uint32_t lanes)
+    : machine_(std::move(machine)),
+      lanes_(lanes),
+      stride_(std::max<std::uint32_t>(
+          static_cast<std::uint32_t>(machine_->initial_slots.size()), 1)),
+      current_(lanes, machine_->initial),
+      slots_(static_cast<std::size_t>(lanes) * stride_, 0.0),
+      stack_(std::max<std::uint32_t>(machine_->max_stack, 1), 0.0) {
+  summaries_.reserve(machine_->dispatch.size());
+  for (const std::uint32_t pc : machine_->dispatch) {
+    summaries_.push_back(Summarize(pc));
+  }
+  any_summaries_.reserve(machine_->any_handler.size());
+  for (const std::uint32_t pc : machine_->any_handler) {
+    any_summaries_.push_back(Summarize(pc));
+  }
+  for (std::uint32_t lane = 0; lane < lanes_; ++lane) {
+    std::copy(machine_->initial_slots.begin(), machine_->initial_slots.end(), lane_slots(lane));
+  }
+}
+
+BatchCompiledMonitor::Summary BatchCompiledMonitor::Summarize(std::uint32_t pc) const {
+  const Instr* const code = machine_->code.data();
+  Summary s;
+  s.pc = pc;
+  const Instr in = code[pc];
+  switch (in.op) {
+    case OpCode::kNoMatch:
+      s.cls = HandlerClass::kSelfLoop;
+      break;
+    case OpCode::kCommit:
+      // A leading kCommit means guard-free and body-free by construction
+      // (body statements would precede it in the program).
+      s.cls = HandlerClass::kCommit;
+      s.to = static_cast<std::uint16_t>(in.operand);
+      break;
+    case OpCode::kStoreFieldCommit:
+      s.cls = HandlerClass::kStoreFieldCommit;
+      s.field = static_cast<EventField>(in.operand >> 16);
+      s.slot = static_cast<std::uint16_t>(in.operand & 0xFFFF);
+      s.to = static_cast<std::uint16_t>(code[pc + 1].operand);
+      break;
+    case OpCode::kGuardCommitElapsedLt:
+    case OpCode::kGuardCommitElapsedLe:
+    case OpCode::kGuardCommitElapsedGt:
+    case OpCode::kGuardCommitElapsedGe:
+    case OpCode::kGuardCommitElapsedEq:
+    case OpCode::kGuardCommitElapsedNe: {
+      // Summarizable only when guard failure lands on a bare kNoMatch —
+      // i.e. there is no further candidate transition to try. Otherwise
+      // the program is a multi-candidate chain and stays kGeneral.
+      const std::uint32_t on_fail = code[pc + 2].operand;
+      if (code[on_fail].op != OpCode::kNoMatch) {
+        break;
+      }
+      s.cls = HandlerClass::kGuardElapsedCommit;
+      s.guard_op = in.op;
+      s.field = static_cast<EventField>(in.operand >> 16);
+      s.slot = static_cast<std::uint16_t>(in.operand & 0xFFFF);
+      s.threshold = machine_->const_pool[code[pc + 1].operand];
+      s.to = static_cast<std::uint16_t>(code[pc + 3].operand);
+      break;
+    }
+    default:
+      break;  // kGeneral
+  }
+  return s;
+}
+
+void BatchCompiledMonitor::StepBatch(const MonitorEvent* const* events, std::uint32_t n,
+                                     std::vector<BatchFailure>* failures) {
+  // Hoist every machine-constant load out of the lane loop: the loop body
+  // writes current_/slots_ through raw pointers, and without the local
+  // copies the compiler must conservatively reload machine_ fields per
+  // lane.
+  const CompiledMachine& m = *machine_;
+  const PathId scope = m.path_scope;
+  const std::uint32_t max_task = m.max_task;
+  const Summary* const summaries = summaries_.data();
+  const Summary* const any_summaries = any_summaries_.data();
+  std::uint16_t* const current = current_.data();
+  double* const slots = slots_.data();
+  const std::uint32_t stride = stride_;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const MonitorEvent* const e = events[i];
+    if (e == nullptr) {
+      continue;  // Exhausted cursor: lane state untouched.
+    }
+    if (scope != kNoPath && e->path != scope) {
+      continue;  // Out-of-scope events are invisible to this machine.
+    }
+    const std::uint16_t state = current[i];
+    const auto t = static_cast<std::uint32_t>(e->task);
+    const Summary& s =
+        t > max_task
+            ? any_summaries[state]
+            : summaries[(static_cast<std::uint32_t>(state) * 2u +
+                         static_cast<std::uint32_t>(e->kind)) *
+                            (max_task + 1u) +
+                        t];
+    switch (s.cls) {
+      case HandlerClass::kSelfLoop:
+        break;
+      case HandlerClass::kCommit:
+        current[i] = s.to;
+        break;
+      case HandlerClass::kStoreFieldCommit:
+        slots[i * stride + s.slot] = VmFieldValue(s.field, *e);
+        current[i] = s.to;
+        break;
+      case HandlerClass::kGuardElapsedCommit: {
+        const double a = VmFieldValue(s.field, *e) - slots[i * stride + s.slot];
+        bool pass = false;
+        switch (s.guard_op) {
+          case OpCode::kGuardCommitElapsedLt:
+            pass = a < s.threshold;
+            break;
+          case OpCode::kGuardCommitElapsedLe:
+            pass = a <= s.threshold;
+            break;
+          case OpCode::kGuardCommitElapsedGt:
+            pass = a > s.threshold;
+            break;
+          case OpCode::kGuardCommitElapsedGe:
+            pass = a >= s.threshold;
+            break;
+          case OpCode::kGuardCommitElapsedEq:
+            pass = a == s.threshold;
+            break;
+          case OpCode::kGuardCommitElapsedNe:
+            pass = a != s.threshold;
+            break;
+          default:
+            break;
+        }
+        if (pass) {
+          current[i] = s.to;
+        }
+        break;
+      }
+      case HandlerClass::kGeneral: {
+        VmFailure failure;
+        const bool failed = RunCompiledHandler(m, s.pc, *e, &current[i], slots + i * stride,
+                                               stack_.data(), &failure);
+        if (failed) {
+          const FailRecord& fail = m.fail_pool[failure.fail_index];
+          failures->push_back(BatchFailure{i, fail.action, fail.target_path,
+                                           failure.fail_index});
+        }
+        break;
+      }
+    }
+  }
+}
+
+bool BatchCompiledMonitor::StepLaneGeneral(std::uint32_t lane, const MonitorEvent& event,
+                                           BatchVerdict* out) {
+  *out = BatchVerdict{};
+  if (machine_->path_scope != kNoPath && event.path != machine_->path_scope) {
+    return false;
+  }
+  VmFailure failure;
+  const bool failed = RunCompiledHandler(
+      *machine_, machine_->HandlerFor(current_[lane], event.kind, event.task), event,
+      &current_[lane], lane_slots(lane), stack_.data(), &failure);
+  if (failed) {
+    const FailRecord& fail = machine_->fail_pool[failure.fail_index];
+    out->action = fail.action;
+    out->target_path = fail.target_path;
+    out->fail_index = failure.fail_index;
+    out->failed = true;
+  }
+  return failed;
+}
+
+void BatchCompiledMonitor::HardResetAll() {
+  for (std::uint32_t lane = 0; lane < lanes_; ++lane) {
+    HardResetLane(lane);
+  }
+}
+
+void BatchCompiledMonitor::HardResetLane(std::uint32_t lane) {
+  current_[lane] = machine_->initial;
+  std::copy(machine_->initial_slots.begin(), machine_->initial_slots.end(), lane_slots(lane));
+}
+
+void BatchCompiledMonitor::OnPathRestartLane(std::uint32_t lane, PathId path) {
+  if (!machine_->reset_on_path_restart) {
+    return;
+  }
+  if (machine_->path_scope != kNoPath && machine_->path_scope != path) {
+    return;
+  }
+  current_[lane] = machine_->initial;
+  // As in the scalar backends: counters keep their values, only the
+  // control state re-initializes.
+}
+
+double BatchCompiledMonitor::LaneVarValue(std::uint32_t lane, const std::string& name) const {
+  for (std::size_t i = 0; i < machine_->var_names.size(); ++i) {
+    if (machine_->var_names[i] == name) {
+      return lane_slots(lane)[i];
+    }
+  }
+  return 0.0;
+}
+
+BatchCompiledMonitor::HandlerClass BatchCompiledMonitor::ClassOf(std::uint16_t state,
+                                                                 EventKind kind,
+                                                                 TaskId task) const {
+  return SummaryFor(state, kind, task).cls;
+}
+
+std::vector<std::uint64_t> BatchCompiledMonitor::ClassHistogram() const {
+  std::vector<std::uint64_t> counts(5, 0);
+  for (const Summary& s : summaries_) {
+    ++counts[static_cast<std::size_t>(s.cls)];
+  }
+  return counts;
+}
+
+}  // namespace artemis

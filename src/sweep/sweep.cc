@@ -1,15 +1,14 @@
 #include "src/sweep/sweep.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <thread>
 
 #include "src/apps/ar_app.h"
 #include "src/apps/greenhouse_app.h"
 #include "src/apps/health_app.h"
+#include "src/base/thread_pool.h"
 #include "src/base/units.h"
 #include "src/core/builder.h"
 #include "src/flight/recorder.h"
@@ -18,6 +17,20 @@
 #include "src/sweep/grid_json.h"
 
 namespace artemis::sweep {
+
+// The engine builds a fresh graph per simulation: task bodies may close
+// over per-instance sensor state, so sharing one graph across concurrent
+// simulations would be a determinism (and thread-safety) hole.
+AppGraph BuildAppGraphByName(const std::string& app) {
+  if (app == "greenhouse") {
+    return std::move(BuildGreenhouseApp().graph);
+  }
+  if (app == "ar") {
+    return std::move(BuildArApp().graph);
+  }
+  return std::move(BuildHealthApp().graph);
+}
+
 namespace {
 
 StatusOr<std::string> DefaultSpecForApp(const std::string& app) {
@@ -31,19 +44,6 @@ StatusOr<std::string> DefaultSpecForApp(const std::string& app) {
     return ArAppSpec();
   }
   return Status::Invalid("sweep: unknown app '" + app + "' (health|greenhouse|ar)");
-}
-
-// The engine builds a fresh graph per point: task bodies close over
-// per-instance sensor state, so sharing one graph across workers would be a
-// determinism (and thread-safety) hole.
-AppGraph BuildAppGraphByName(const std::string& app) {
-  if (app == "greenhouse") {
-    return std::move(BuildGreenhouseApp().graph);
-  }
-  if (app == "ar") {
-    return std::move(BuildArApp().graph);
-  }
-  return std::move(BuildHealthApp().graph);
 }
 
 StatusOr<MonitorBackend> ParseBackend(const std::string& name) {
@@ -446,33 +446,13 @@ StatusOr<SweepOutcome> RunSweep(const SweepSpec& spec, int jobs, CompiledSpecCac
   outcome.rows.resize(points.value().size());
 
   const std::size_t n = points.value().size();
-  jobs = std::clamp(jobs, 1, static_cast<int>(std::min<std::size_t>(n == 0 ? 1 : n, 64)));
-  if (jobs <= 1) {
-    for (const SweepPoint& point : points.value()) {
-      outcome.rows[point.index] = RunSweepPoint(point, spec, shared);
-    }
-  } else {
-    // Each worker claims the next unclaimed point and writes its row into
-    // the slot owned by that point's index: no two workers touch the same
-    // row, and the collected table is independent of claim order.
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<std::size_t>(jobs));
-    for (int w = 0; w < jobs; ++w) {
-      workers.emplace_back([&]() {
-        for (;;) {
-          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= n) {
-            return;
-          }
-          outcome.rows[i] = RunSweepPoint(points.value()[i], spec, shared);
-        }
-      });
-    }
-    for (std::thread& worker : workers) {
-      worker.join();
-    }
-  }
+  jobs = ClampWorkers(jobs, n);
+  // Each worker claims the next unclaimed point and writes its row into
+  // the slot owned by that point's index: no two workers touch the same
+  // row, and the collected table is independent of claim order.
+  ParallelFor(jobs, n, [&outcome, &points, &spec, &shared](std::size_t i) {
+    outcome.rows[i] = RunSweepPoint(points.value()[i], spec, shared);
+  });
 
   outcome.cache_requests = shared.requests() - requests0;
   outcome.cache_builds = shared.builds() - builds0;

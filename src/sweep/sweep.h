@@ -150,6 +150,11 @@ struct SweepOutcome {
   bool AllOk() const;
 };
 
+// Builds a fresh per-run AppGraph ("health" | "greenhouse" | "ar";
+// anything else falls back to health). Exposed for the fleet engine,
+// which shares the sweep's one-graph-per-simulation isolation rule.
+AppGraph BuildAppGraphByName(const std::string& app);
+
 // Validates the axes and expands the cartesian grid.
 StatusOr<std::vector<SweepPoint>> ExpandGrid(const SweepSpec& spec);
 

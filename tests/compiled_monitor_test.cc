@@ -7,6 +7,7 @@
 // variable values at every step.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "src/ir/compile.h"
 #include "src/ir/lowering.h"
 #include "src/monitor/compiled.h"
+#include "src/monitor/compiled_batch.h"
 #include "src/monitor/interp.h"
 #include "src/monitor/monitor_set.h"
 #include "src/spec/parser.h"
@@ -242,6 +244,178 @@ TEST_P(DifferentialFuzzTest, CompiledEquivalentToInterpretedOnAllApps) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzzTest,
                          ::testing::Values(0x1u, 0x2u, 0xA5A5u, 0xDEADBEEFu, 0x123456789u));
+
+// ---------------------------------------- batch VM differential fuzzing --
+//
+// The SoA batch engine (src/monitor/compiled_batch.h) must be lane-by-lane
+// equivalent to the scalar CompiledMonitor: each lane consumes its own
+// randomized event stream (lanes advance at different rates, sit out
+// rounds, and restart paths independently) while a scalar monitor per lane
+// replays the identical stream. Both the classified fast path (StepBatch)
+// and the always-bytecode reference path (StepLaneGeneral) are checked
+// against the scalar truth at every step.
+
+class BatchDifferentialFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchDifferentialFuzzTest, BatchLanesEquivalentToScalarCompiled) {
+  constexpr std::uint32_t kLanes = 8;
+  for (FuzzApp& app : FuzzApps()) {
+    auto parsed = SpecParser::Parse(app.spec);
+    ASSERT_TRUE(parsed.ok()) << app.name;
+    auto machines = LowerSpec(parsed.value(), app.graph, {});
+    ASSERT_TRUE(machines.ok()) << app.name;
+
+    const auto task_count = static_cast<std::uint64_t>(app.graph.task_count());
+    const auto path_count = static_cast<std::uint64_t>(app.graph.path_count());
+
+    for (const StateMachine& machine : machines.value()) {
+      auto c = CompileStateMachine(machine);
+      ASSERT_TRUE(c.ok()) << app.name << "/" << machine.name;
+      auto shared = std::make_shared<const CompiledMachine>(std::move(c).value());
+      BatchCompiledMonitor batch(shared, kLanes);
+      BatchCompiledMonitor general(shared, kLanes);  // StepLaneGeneral reference
+
+      std::vector<std::unique_ptr<CompiledMonitor>> scalar;
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+        auto c2 = CompileStateMachine(machine);
+        ASSERT_TRUE(c2.ok());
+        scalar.push_back(std::make_unique<CompiledMonitor>(std::move(c2).value()));
+      }
+
+      // Every dispatch entry lands in exactly one handler class.
+      std::uint64_t classified = 0;
+      for (const std::uint64_t n : batch.ClassHistogram()) {
+        classified += n;
+      }
+      EXPECT_EQ(classified, shared->dispatch.size()) << app.name << "/" << machine.name;
+
+      std::vector<Rng> rng;
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+        rng.emplace_back(GetParam() * 0x9E3779B9u + lane + 1);
+      }
+      std::vector<MonitorEvent> events(kLanes);
+      std::vector<const MonitorEvent*> cursors(kLanes, nullptr);
+      std::vector<BatchFailure> failures;
+      std::vector<const BatchFailure*> fail_by_lane(kLanes, nullptr);
+      std::vector<SimTime> now(kLanes, 0);
+      std::vector<std::uint64_t> seq(kLanes, 0);
+
+      for (int round = 0; round < 1200; ++round) {
+        for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+          if (rng[lane].NextDouble() < 0.02) {
+            const PathId path = static_cast<PathId>(rng[lane].UniformU64(1, path_count));
+            batch.OnPathRestartLane(lane, path);
+            general.OnPathRestartLane(lane, path);
+            scalar[lane]->OnPathRestart(path);
+          }
+          if (rng[lane].NextDouble() < 0.1) {
+            cursors[lane] = nullptr;  // exhausted cursor this round
+            continue;
+          }
+          now[lane] += rng[lane].UniformU64(1, 3 * kMinute);
+          MonitorEvent& e = events[lane];
+          e = MonitorEvent{};
+          e.kind = rng[lane].NextDouble() < 0.5 ? EventKind::kStartTask : EventKind::kEndTask;
+          e.task = static_cast<TaskId>(rng[lane].UniformU64(0, task_count - 1));
+          e.timestamp = now[lane];
+          e.path = static_cast<PathId>(rng[lane].UniformU64(1, path_count));
+          e.seq = ++seq[lane];
+          e.has_dep_data = e.kind == EventKind::kEndTask && rng[lane].NextDouble() < 0.5;
+          e.dep_data = rng[lane].UniformDouble(-10.0, 50.0);
+          e.energy_fraction = rng[lane].NextDouble();
+          cursors[lane] = &e;
+        }
+
+        failures.clear();
+        batch.StepBatch(cursors.data(), kLanes, &failures);
+        std::fill(fail_by_lane.begin(), fail_by_lane.end(), nullptr);
+        for (const BatchFailure& f : failures) {
+          fail_by_lane[f.lane] = &f;
+        }
+
+        for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+          if (cursors[lane] == nullptr) {
+            EXPECT_EQ(fail_by_lane[lane], nullptr);
+            continue;
+          }
+          MonitorVerdict vs;
+          const bool fs = scalar[lane]->Step(events[lane], &vs);
+          BatchVerdict vg;
+          const bool fg = general.StepLaneGeneral(lane, events[lane], &vg);
+          ASSERT_EQ(fail_by_lane[lane] != nullptr, fs)
+              << app.name << "/" << machine.name << " lane " << lane << " round " << round;
+          ASSERT_EQ(fg, fs) << app.name << "/" << machine.name << " lane " << lane;
+          if (fs) {
+            const BatchFailure& f = *fail_by_lane[lane];
+            ASSERT_EQ(f.action, vs.action) << app.name << " round " << round;
+            ASSERT_EQ(f.target_path, vs.target_path) << app.name << " round " << round;
+            ASSERT_EQ(batch.fail_record(f.fail_index).property, vs.property)
+                << app.name << " round " << round;
+            ASSERT_EQ(vg.action, vs.action);
+            ASSERT_EQ(vg.target_path, vs.target_path);
+            ASSERT_EQ(general.fail_record(vg.fail_index).property, vs.property);
+          }
+          ASSERT_EQ(batch.lane_state(lane), scalar[lane]->current_state())
+              << app.name << "/" << machine.name << " lane " << lane << " round " << round;
+          ASSERT_EQ(general.lane_state(lane), scalar[lane]->current_state())
+              << app.name << "/" << machine.name << " lane " << lane << " round " << round;
+          for (const auto& [var, unused] : machine.variables) {
+            ASSERT_EQ(batch.LaneVarValue(lane, var), scalar[lane]->VarValue(var))
+                << app.name << "/" << machine.name << " var " << var << " lane " << lane;
+            ASSERT_EQ(general.LaneVarValue(lane, var), scalar[lane]->VarValue(var))
+                << app.name << "/" << machine.name << " var " << var << " lane " << lane;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchDifferentialFuzzTest,
+                         ::testing::Values(0x11u, 0xBEEFu, 0x5EED5EEDu));
+
+TEST(BatchCompiledMonitorTest, HardResetLaneIsolatesNeighbours) {
+  auto c = CompileStateMachine(CounterMachine());
+  ASSERT_TRUE(c.ok());
+  auto shared = std::make_shared<const CompiledMachine>(std::move(c).value());
+  BatchCompiledMonitor batch(shared, 2);
+  MonitorEvent start;
+  start.kind = EventKind::kStartTask;
+  start.task = 0;
+  const MonitorEvent* cursors[2] = {&start, &start};
+  std::vector<BatchFailure> failures;
+  batch.StepBatch(cursors, 2, &failures);
+  EXPECT_TRUE(failures.empty());
+  EXPECT_EQ(batch.LaneVarValue(0, "i"), 1.0);
+  EXPECT_EQ(batch.LaneVarValue(1, "i"), 1.0);
+  batch.HardResetLane(0);
+  EXPECT_EQ(batch.LaneVarValue(0, "i"), 0.0);
+  EXPECT_EQ(batch.LaneVarValue(1, "i"), 1.0);  // neighbour untouched
+}
+
+TEST(BatchCompiledMonitorTest, FastClassesCoverAppDispatch) {
+  // The whole point of the batch engine: the apps' hot-loop handlers must
+  // summarize into the non-kGeneral classes.
+  for (FuzzApp& app : FuzzApps()) {
+    auto parsed = SpecParser::Parse(app.spec);
+    ASSERT_TRUE(parsed.ok());
+    auto machines = LowerSpec(parsed.value(), app.graph, {});
+    ASSERT_TRUE(machines.ok());
+    for (const StateMachine& machine : machines.value()) {
+      auto c = CompileStateMachine(machine);
+      ASSERT_TRUE(c.ok());
+      auto shared = std::make_shared<const CompiledMachine>(std::move(c).value());
+      BatchCompiledMonitor batch(shared, 1);
+      const std::vector<std::uint64_t> hist = batch.ClassHistogram();
+      ASSERT_EQ(hist.size(), 5u);
+      std::uint64_t fast = 0;
+      for (std::size_t i = 0; i + 1 < hist.size(); ++i) {
+        fast += hist[i];
+      }
+      EXPECT_GT(fast, 0u) << app.name << "/" << machine.name;
+    }
+  }
+}
 
 // The MonitorSet-level view: the compiled backend builds one monitor per
 // property and produces the same verdict stream as the interpreted set.

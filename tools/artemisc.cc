@@ -19,6 +19,11 @@
 //                     [--max-wall <duration>] [--stats] [--jobs N]
 //                     [--flight off|verdicts|full] [--flight-bytes N]
 //                     [--format json|csv|table] [--out <file>]
+//   artemisc fleet    [--devices N] [--shards J] [--minutes M | --iterations K]
+//                     [--app ...] [--spec <file>] [--monitor scalar|batch]
+//                     [--backend ...] [--charges continuous,6min,...]
+//                     [--budgets <uJ>,...] [--seed S] [--tile N] [--stats]
+//                     [--format json|table] [--out <file>]
 //   artemisc forensics <dump|timeline|audit|detect> [--app ...] [--spec <file>]
 //                     [--schedule 6min|continuous] [--budget <uJ>]
 //                     [--backend ...] [--level verdicts|full]
@@ -38,7 +43,10 @@
 // expands a declarative grid of independent simulations (from a grid JSON
 // file and/or axis flags) and executes it on the parallel deterministic
 // sweep engine (src/sweep, docs/sweep.md): output bytes are identical for
-// any --jobs value. `forensics` runs the app with the on-device flight
+// any --jobs value. `fleet` runs N independent device twins of one app on
+// the sharded fleet engine (src/fleet, docs/fleet.md) and reports
+// fleet-wide aggregates; output bytes are identical for any --shards
+// value. `forensics` runs the app with the on-device flight
 // recorder attached (src/flight, docs/forensics.md), then decodes the
 // recovered ring: `dump` exports deterministic JSONL, `timeline` stitches
 // boot epochs into a human-readable reconstruction, `audit` cross-validates
@@ -81,6 +89,7 @@
 #include "src/spec/mayfly_frontend.h"
 #include "src/spec/parser.h"
 #include "src/spec/validator.h"
+#include "src/fleet/fleet.h"
 #include "src/sweep/sweep.h"
 
 namespace artemis {
@@ -117,6 +126,11 @@ int Usage() {
                "           [--max-wall <duration>] [--stats] [--jobs N]\n"
                "           [--flight off|verdicts|full] [--flight-bytes N]\n"
                "           [--format json|csv|table] [--out <file>]\n"
+               "  fleet    [--devices N] [--shards J] [--minutes M | --iterations K]\n"
+               "           [--app ...] [--spec <file>] [--monitor scalar|batch]\n"
+               "           [--backend ...] [--charges continuous,6min,...]\n"
+               "           [--budgets <uJ>,...] [--seed S] [--tile N] [--stats]\n"
+               "           [--format json|table] [--out <file>]\n"
                "  forensics <dump|timeline|audit|detect> [--app ...] [--spec <file>]\n"
                "           [--schedule 6min|continuous] [--budget <uJ>] [--backend ...]\n"
                "           [--level verdicts|full] [--flight-bytes N]\n"
@@ -171,6 +185,15 @@ struct Args {
   std::string sweep_flight;  // --flight: recorder level axis for sweep
   bool sweep_stats = false;
   int jobs = 1;
+  // fleet command only. Charges/budgets/stats reuse the sweep axis fields.
+  std::uint64_t fleet_devices = 1000;   // --devices
+  int fleet_shards = 1;                 // --shards
+  std::string fleet_minutes;            // --minutes: horizon mode
+  std::string fleet_iterations;         // --iterations: fixed-pass mode
+  std::string fleet_monitor = "batch";  // --monitor scalar|batch
+  std::uint32_t fleet_tile = 256;       // --tile
+  std::uint64_t fleet_seed = 1;         // --seed
+  bool backend_set = false;  // fleet defaults to compiled unless --backend given
   // forensics command only.
   std::string forensics_mode;         // dump | timeline | audit | detect
   std::string flight_level = "full";  // --level
@@ -215,7 +238,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
                    args->forensics_mode.c_str());
       return false;
     }
-  } else if (args->command != "simulate" && args->command != "profile") {
+  } else if (args->command != "simulate" && args->command != "profile" &&
+             args->command != "fleet") {
     if (i >= argc) {
       return false;
     }
@@ -258,6 +282,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
                      "artemisc: unknown backend '%s' (builtin|interpreted|compiled)\n", value);
         return false;
       }
+      args->backend_set = true;
     } else if (flag == "--spec") {
       const char* value = next();
       if (value == nullptr) {
@@ -386,6 +411,53 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         return false;
       }
       args->sweep_flight = value;
+    } else if (flag == "--devices") {
+      const char* value = next();
+      if (value == nullptr || std::atoll(value) < 1) {
+        std::fprintf(stderr, "artemisc: --devices wants a positive integer\n");
+        return false;
+      }
+      args->fleet_devices = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (flag == "--shards") {
+      const char* value = next();
+      if (value == nullptr || std::atoi(value) < 1) {
+        std::fprintf(stderr, "artemisc: --shards wants a positive integer\n");
+        return false;
+      }
+      args->fleet_shards = std::atoi(value);
+    } else if (flag == "--minutes") {
+      const char* value = next();
+      if (value == nullptr || std::atoll(value) < 1) {
+        std::fprintf(stderr, "artemisc: --minutes wants a positive integer\n");
+        return false;
+      }
+      args->fleet_minutes = value;
+    } else if (flag == "--iterations") {
+      const char* value = next();
+      if (value == nullptr || std::atoll(value) < 1) {
+        std::fprintf(stderr, "artemisc: --iterations wants a positive integer\n");
+        return false;
+      }
+      args->fleet_iterations = value;
+    } else if (flag == "--monitor") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args->fleet_monitor = value;
+    } else if (flag == "--tile") {
+      const char* value = next();
+      if (value == nullptr || std::atoll(value) < 1) {
+        std::fprintf(stderr, "artemisc: --tile wants a positive integer\n");
+        return false;
+      }
+      args->fleet_tile = static_cast<std::uint32_t>(std::atoll(value));
+    } else if (flag == "--seed") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args->fleet_seed = static_cast<std::uint64_t>(std::atoll(value));
     } else if (flag == "--level") {
       const char* value = next();
       if (value == nullptr) {
@@ -1092,6 +1164,87 @@ int RunSweepCmd(const Args& args) {
   return outcome.value().AllOk() ? kExitClean : kExitFindings;
 }
 
+int RunFleetCmd(const Args& args) {
+  fleet::FleetSpec spec;
+  spec.app = args.app;
+  if (!args.spec_path.empty()) {
+    const std::optional<std::string> text = ReadFile(args.spec_path);
+    if (!text.has_value()) {
+      std::fprintf(stderr, "artemisc: cannot read '%s'\n", args.spec_path.c_str());
+      return kExitUsage;
+    }
+    spec.spec_text = *text;
+    spec.spec_label = args.spec_path;
+  }
+  // The fleet default backend is compiled (batch mode requires it); an
+  // explicit --backend still wins for scalar-mode comparisons.
+  if (args.backend_set) {
+    spec.backend = args.backend;
+  }
+  spec.monitor = args.fleet_monitor;
+  spec.devices = args.fleet_devices;
+  spec.shards = args.fleet_shards;
+  spec.seed = args.fleet_seed;
+  spec.tile = args.fleet_tile;
+  spec.collect_obs = args.sweep_stats;
+  if (!args.sweep_charges.empty()) {
+    spec.charges.clear();
+    for (const std::string& schedule : SplitCommaList(args.sweep_charges)) {
+      StatusOr<SimDuration> charge = sweep::ParseChargeSchedule(schedule);
+      if (!charge.ok()) {
+        std::fprintf(stderr, "artemisc: %s\n", charge.status().ToString().c_str());
+        return kExitUsage;
+      }
+      spec.charges.push_back(charge.value());
+    }
+  }
+  if (!args.sweep_budgets.empty()) {
+    spec.budgets.clear();
+    for (const std::string& budget : SplitCommaList(args.sweep_budgets)) {
+      spec.budgets.push_back(std::atof(budget.c_str()));
+    }
+  }
+  if (!args.fleet_minutes.empty()) {
+    // Horizon mode: every device loops its app until M simulated minutes.
+    spec.iterations = 0;
+    spec.horizon = static_cast<SimDuration>(std::atoll(args.fleet_minutes.c_str())) * kMinute;
+  } else if (!args.fleet_iterations.empty()) {
+    spec.iterations = static_cast<std::uint64_t>(std::atoll(args.fleet_iterations.c_str()));
+  }
+
+  StatusOr<fleet::FleetOutcome> outcome = fleet::RunFleet(spec);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "artemisc: %s\n", outcome.status().ToString().c_str());
+    return kExitUsage;
+  }
+
+  std::string rendered;
+  if (args.format == "json") {
+    rendered = fleet::RenderFleetJson(spec, outcome.value());
+  } else if (args.format == "table" || args.format == "jsonl") {
+    // "jsonl" is the Args default (for trace); fleet's default is the table.
+    rendered = fleet::RenderFleetTable(spec, outcome.value());
+  } else {
+    std::fprintf(stderr, "artemisc: unknown fleet format '%s' (json|table)\n",
+                 args.format.c_str());
+    return kExitUsage;
+  }
+
+  if (args.out_path.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+  } else {
+    std::ofstream out(args.out_path);
+    if (!out) {
+      std::fprintf(stderr, "artemisc: cannot write '%s'\n", args.out_path.c_str());
+      return kExitUsage;
+    }
+    out << rendered;
+  }
+  // A failing device is a finding, not a usage error: the fleet ran and the
+  // aggregates carry the first failing device's diagnosis.
+  return outcome.value().AllOk() ? kExitClean : kExitFindings;
+}
+
 int Main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) {
@@ -1102,6 +1255,9 @@ int Main(int argc, char** argv) {
   }
   if (args.command == "sweep") {
     return RunSweepCmd(args);
+  }
+  if (args.command == "fleet") {
+    return RunFleetCmd(args);
   }
   if (args.command == "profile") {
     return RunProfile(args);

@@ -15,9 +15,14 @@
 #      EXPERIMENTS.md, and docs/ must resolve to an existing file.
 #   6. Sweep determinism smoke: `artemisc sweep` over a small grid must
 #      produce byte-identical JSON for --jobs 1 and --jobs 4, with exit 0.
-#   7. ThreadSanitizer build + tier-1 ctest suite, via
-#      tools/run_tsan_tests.sh (races in the sweep engine's thread pool and
-#      the compiled-spec cache).
+#   7. Fleet determinism smoke: `artemisc fleet` over a small device fleet
+#      must produce byte-identical JSON for --shards 1 and --shards 4, with
+#      exit 0 (the batch-VM differential fuzz runs in stage 1/2/8 via
+#      compiled_monitor_test; fleet_test covers shard/tile determinism).
+#   8. ThreadSanitizer build + tier-1 ctest suite, via
+#      tools/run_tsan_tests.sh (races in the sweep engine's thread pool,
+#      the compiled-spec cache, and the fleet engine's shard workers —
+#      fleet_test runs its sharded configurations under TSan here).
 #
 # Usage: tools/ci.sh [release-build-dir [sanitize-build-dir [tsan-build-dir]]]
 #        (defaults: build-ci, build-sanitize, build-tsan)
@@ -28,15 +33,15 @@ release_dir="${1:-${repo_root}/build-ci}"
 sanitize_dir="${2:-${repo_root}/build-sanitize}"
 tsan_dir="${3:-${repo_root}/build-tsan}"
 
-echo "== [1/7] Release build + tests =="
+echo "== [1/8] Release build + tests =="
 cmake -B "${release_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${release_dir}" -j "$(nproc)"
 ctest --test-dir "${release_dir}" --output-on-failure
 
-echo "== [2/7] Sanitized build + tests =="
+echo "== [2/8] Sanitized build + tests =="
 "${repo_root}/tools/run_sanitized_tests.sh" "${sanitize_dir}"
 
-echo "== [3/7] Static analysis over example specs =="
+echo "== [3/8] Static analysis over example specs =="
 artemisc="${release_dir}/tools/artemisc"
 
 check_clean() {
@@ -73,7 +78,7 @@ check_dirty "bad/dead_state.prop" ART001 "${specs}/bad/dead_state.prop" --app he
 check_dirty "bad/unsat_guard.prop" ART003 "${specs}/bad/unsat_guard.prop" --app health
 check_dirty "bad/overlap.prop" ART005 "${specs}/bad/overlap.prop" --app health
 
-echo "== [4/7] Golden-trace regression =="
+echo "== [4/8] Golden-trace regression =="
 # The exported observability stream is deterministic: a fresh run of the
 # canonical scenario must reproduce the checked-in golden byte-for-byte.
 trace_tmp="$(mktemp /tmp/artemis_trace.XXXXXX.jsonl)"
@@ -106,7 +111,7 @@ if ! "${artemisc}" forensics audit --app health --schedule 6min > /dev/null 2>&1
 fi
 echo "ok: health 6min flight log audits clean"
 
-echo "== [5/7] Docs link check =="
+echo "== [5/8] Docs link check =="
 # Every relative .md link in the top-level docs and docs/ must resolve.
 # Matches [text](path.md) and [text](path.md#anchor); external http(s)
 # links are skipped.
@@ -132,7 +137,7 @@ if [[ "${link_errors}" -ne 0 ]]; then
 fi
 echo "ok: all relative .md links resolve"
 
-echo "== [6/7] Sweep determinism smoke =="
+echo "== [6/8] Sweep determinism smoke =="
 # The parallel sweep engine's export must not depend on the worker count.
 sweep_j1="$(mktemp /tmp/artemis_sweep_j1.XXXXXX.json)"
 sweep_j4="$(mktemp /tmp/artemis_sweep_j4.XXXXXX.json)"
@@ -148,7 +153,24 @@ if ! diff -q "${sweep_j1}" "${sweep_j4}" > /dev/null; then
 fi
 echo "ok: sweep JSON is byte-identical for --jobs 1 and --jobs 4"
 
-echo "== [7/7] ThreadSanitizer build + tests =="
+echo "== [7/8] Fleet determinism smoke =="
+# The sharded fleet engine's export must not depend on the shard count.
+fleet_s1="$(mktemp /tmp/artemis_fleet_s1.XXXXXX.json)"
+fleet_s4="$(mktemp /tmp/artemis_fleet_s4.XXXXXX.json)"
+trap 'rm -f "${trace_tmp}" "${flight_tmp}" "${sweep_j1}" "${sweep_j4}" \
+  "${fleet_s1}" "${fleet_s4}"' EXIT
+"${artemisc}" fleet --app health --devices 200 --iterations 1 \
+  --charges continuous,6min --shards 1 --format json --out "${fleet_s1}"
+"${artemisc}" fleet --app health --devices 200 --iterations 1 \
+  --charges continuous,6min --shards 4 --format json --out "${fleet_s4}"
+if ! diff -q "${fleet_s1}" "${fleet_s4}" > /dev/null; then
+  echo "CI FAIL: fleet JSON differs between --shards 1 and --shards 4" >&2
+  diff "${fleet_s1}" "${fleet_s4}" >&2 || true
+  exit 1
+fi
+echo "ok: fleet JSON is byte-identical for --shards 1 and --shards 4"
+
+echo "== [8/8] ThreadSanitizer build + tests =="
 "${repo_root}/tools/run_tsan_tests.sh" "${tsan_dir}"
 
 echo "CI: all stages passed"
