@@ -4,6 +4,8 @@
 #include <deque>
 #include <sstream>
 
+#include "src/analysis/system_passes.h"
+
 namespace artemis {
 namespace {
 
@@ -165,11 +167,11 @@ class ReachabilityPass : public AnalysisPass {
  public:
   const char* name() const override { return "reachability"; }
 
-  void Run(const std::vector<StateMachine>& machines, const std::vector<MachineFacts>& facts,
-           const AppGraph& graph, const AnalysisOptions&, DiagnosticEngine* engine) override {
-    for (std::size_t mi = 0; mi < machines.size(); ++mi) {
-      const StateMachine& m = machines[mi];
-      const MachineFacts& f = facts[mi];
+  void Run(const AnalysisContext& ctx, DiagnosticEngine* engine) override {
+    const AppGraph& graph = ctx.graph;
+    for (std::size_t mi = 0; mi < ctx.machines.size(); ++mi) {
+      const StateMachine& m = ctx.machines[mi];
+      const MachineFacts& f = ctx.facts[mi];
       for (std::size_t si = 0; si < m.states.size(); ++si) {
         if (f.reachable_state[si]) continue;
         Diagnostic d = MakeDiagnostic(diag::kUnreachableState, DiagSeverity::kError, m);
@@ -205,11 +207,11 @@ class GuardSatisfiabilityPass : public AnalysisPass {
  public:
   const char* name() const override { return "guard-satisfiability"; }
 
-  void Run(const std::vector<StateMachine>& machines, const std::vector<MachineFacts>& facts,
-           const AppGraph& graph, const AnalysisOptions&, DiagnosticEngine* engine) override {
-    for (std::size_t mi = 0; mi < machines.size(); ++mi) {
-      const StateMachine& m = machines[mi];
-      const MachineFacts& f = facts[mi];
+  void Run(const AnalysisContext& ctx, DiagnosticEngine* engine) override {
+    const AppGraph& graph = ctx.graph;
+    for (std::size_t mi = 0; mi < ctx.machines.size(); ++mi) {
+      const StateMachine& m = ctx.machines[mi];
+      const MachineFacts& f = ctx.facts[mi];
       for (std::size_t ti = 0; ti < m.transitions.size(); ++ti) {
         const Transition& t = m.transitions[ti];
         const int from = StateIndex(m, t.from);
@@ -259,11 +261,11 @@ class DeterminismPass : public AnalysisPass {
  public:
   const char* name() const override { return "determinism"; }
 
-  void Run(const std::vector<StateMachine>& machines, const std::vector<MachineFacts>& facts,
-           const AppGraph& graph, const AnalysisOptions&, DiagnosticEngine* engine) override {
-    for (std::size_t mi = 0; mi < machines.size(); ++mi) {
-      const StateMachine& m = machines[mi];
-      const MachineFacts& f = facts[mi];
+  void Run(const AnalysisContext& ctx, DiagnosticEngine* engine) override {
+    const AppGraph& graph = ctx.graph;
+    for (std::size_t mi = 0; mi < ctx.machines.size(); ++mi) {
+      const StateMachine& m = ctx.machines[mi];
+      const MachineFacts& f = ctx.facts[mi];
       for (std::size_t ti = 0; ti < m.transitions.size(); ++ti) {
         const Transition& a = m.transitions[ti];
         const int from = StateIndex(m, a.from);
@@ -327,10 +329,9 @@ class LivenessPass : public AnalysisPass {
  public:
   const char* name() const override { return "liveness"; }
 
-  void Run(const std::vector<StateMachine>& machines, const std::vector<MachineFacts>& facts,
-           const AppGraph&, const AnalysisOptions& options, DiagnosticEngine* engine) override {
-    (void)facts;
-    for (const StateMachine& m : machines) {
+  void Run(const AnalysisContext& ctx, DiagnosticEngine* engine) override {
+    const AnalysisOptions& options = ctx.options;
+    for (const StateMachine& m : ctx.machines) {
       std::set<std::string> reads, writes;
       for (const Transition& t : m.transitions) {
         if (t.guard != nullptr) CollectExprReads(*t.guard, &reads);
@@ -397,28 +398,26 @@ class VerdictConflictPass : public AnalysisPass {
  public:
   const char* name() const override { return "verdict-conflict"; }
 
-  void Run(const std::vector<StateMachine>& machines, const std::vector<MachineFacts>& facts,
-           const AppGraph& graph, const AnalysisOptions& options,
-           DiagnosticEngine* engine) override {
+  void Run(const AnalysisContext& ctx, DiagnosticEngine* engine) override {
     // Failure sites per machine, restricted to transitions that can fire.
+    const std::vector<StateMachine>& machines = ctx.machines;
     std::vector<std::vector<FailSite>> sites(machines.size());
     for (std::size_t mi = 0; mi < machines.size(); ++mi) {
       const StateMachine& m = machines[mi];
       for (std::size_t ti = 0; ti < m.transitions.size(); ++ti) {
-        if (!facts[mi].reachable_transition[ti]) continue;
+        if (!ctx.facts[mi].reachable_transition[ti]) continue;
         CollectFailSites(m.transitions[ti].body, static_cast<int>(ti), &sites[mi]);
       }
     }
     for (std::size_t a = 0; a < machines.size(); ++a) {
       for (std::size_t b = a + 1; b < machines.size(); ++b) {
-        CheckPair(machines, facts, sites, a, b, graph, options, engine);
+        CheckPair(machines, sites, a, b, ctx.graph, ctx.options, engine);
       }
     }
   }
 
  private:
   static void CheckPair(const std::vector<StateMachine>& machines,
-                        const std::vector<MachineFacts>& facts,
                         const std::vector<std::vector<FailSite>>& sites, std::size_t a,
                         std::size_t b, const AppGraph& graph, const AnalysisOptions& options,
                         DiagnosticEngine* engine) {
@@ -542,6 +541,9 @@ std::vector<std::unique_ptr<AnalysisPass>> DefaultAnalysisPasses() {
   passes.push_back(std::make_unique<DeterminismPass>());
   passes.push_back(std::make_unique<LivenessPass>());
   passes.push_back(std::make_unique<VerdictConflictPass>());
+  for (auto& pass : SystemAnalysisPasses()) {
+    passes.push_back(std::move(pass));
+  }
   return passes;
 }
 
@@ -553,8 +555,9 @@ DiagnosticEngine AnalyzeMachines(const std::vector<StateMachine>& machines,
   for (const StateMachine& m : machines) {
     facts.push_back(ComputeMachineFacts(m, graph));
   }
+  const AnalysisContext ctx{machines, facts, graph, options};
   for (const auto& pass : DefaultAnalysisPasses()) {
-    pass->Run(machines, facts, graph, options, &engine);
+    pass->Run(ctx, &engine);
   }
   return engine;
 }

@@ -17,11 +17,29 @@
 //                           actions for one event and the active arbitration
 //                           policy resolves the tie arbitrarily (ART008).
 //
+// Whole-system passes (6..8, src/analysis/system_passes.h) additionally
+// fold the AppGraph's task costs, the CostModel, and the deployment's
+// charge-budget axes through the machines:
+//
+//   6. Energy feasibility — a task's atomic per-attempt energy vs every
+//                           supplied budget (ART009); an MITD/maxDuration
+//                           bound vs the best-case delay once forced
+//                           outages are packed in (ART010).
+//   7. Product reachability — machine x app-position product automaton:
+//                           every violating verdict dead (ART011) or a
+//                           violation inevitable on every complete run
+//                           (ART012).
+//   8. Re-execution hazard — WAR self-updates without two-phase commit
+//                           (ART013); flight-recorder ring too small for a
+//                           worst-case record (ART014).
+//
 // Facts (producibility, guard truth, reachability, variable ranges) are
-// computed once per machine and shared by all passes.
+// computed once per machine and shared by all passes through an
+// AnalysisContext.
 #ifndef SRC_ANALYSIS_ANALYZER_H_
 #define SRC_ANALYSIS_ANALYZER_H_
 
+#include <cstddef>
 #include <memory>
 #include <set>
 #include <string>
@@ -29,6 +47,7 @@
 
 #include "src/analysis/diagnostics.h"
 #include "src/analysis/interval.h"
+#include "src/base/time.h"
 #include "src/ir/codegen_dot.h"
 #include "src/ir/state_machine.h"
 #include "src/kernel/app_graph.h"
@@ -43,8 +62,23 @@ struct AnalysisOptions {
   ArbitrationPolicy policy = ArbitrationPolicy::kSeverity;
   // --Werror: promote every warning to an error.
   bool werror = false;
-  // Cost model used to price dead variables in the liveness pass.
+  // Cost model used to price dead variables in the liveness pass and to
+  // fold kernel/monitor overheads into the energy-feasibility pass.
   CostModel costs = DefaultCostModel();
+  // Deployment axes for the whole-system passes. A task (or bound) that is
+  // infeasible under every axis combination is an error; infeasible under
+  // only some combinations is a warning.
+  std::vector<EnergyUj> budgets = {19'500.0};
+  // Charge (off) durations between on-periods; 0 = continuous power.
+  std::vector<SimDuration> charges = {0};
+  // Kernel commits monitor slots via two-phase commit (immortal mode).
+  // When false, re-executed transition bodies replay WAR self-updates
+  // (ART013).
+  bool two_phase_commit = true;
+  // Flight-recorder deployment: when enabled, the ring capacity is checked
+  // against the worst-case record footprint (ART014).
+  bool flight_enabled = false;
+  std::size_t flight_bytes = 1024;
 };
 
 // Per-machine facts shared by the passes.
@@ -69,16 +103,24 @@ struct MachineFacts {
 
 MachineFacts ComputeMachineFacts(const StateMachine& machine, const AppGraph& graph);
 
+// Everything a pass may consult, bundled so new inputs (cost model, charge
+// budgets, deployment flags) reach every pass without signature churn.
+// References stay valid for the duration of AnalyzeMachines.
+struct AnalysisContext {
+  const std::vector<StateMachine>& machines;
+  const std::vector<MachineFacts>& facts;
+  const AppGraph& graph;
+  const AnalysisOptions& options;
+};
+
 class AnalysisPass {
  public:
   virtual ~AnalysisPass() = default;
   virtual const char* name() const = 0;
-  virtual void Run(const std::vector<StateMachine>& machines,
-                   const std::vector<MachineFacts>& facts, const AppGraph& graph,
-                   const AnalysisOptions& options, DiagnosticEngine* engine) = 0;
+  virtual void Run(const AnalysisContext& ctx, DiagnosticEngine* engine) = 0;
 };
 
-// The five passes above, in pipeline order.
+// The eight passes above, in pipeline order.
 std::vector<std::unique_ptr<AnalysisPass>> DefaultAnalysisPasses();
 
 // Computes facts, runs the default pipeline, returns the filled engine.

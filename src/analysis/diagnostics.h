@@ -30,6 +30,14 @@ inline constexpr char kOverlappingTransitions[] = "ART005";  // determinism pass
 inline constexpr char kDeadWrite[] = "ART006";          // liveness pass
 inline constexpr char kUnusedVariable[] = "ART007";     // liveness pass
 inline constexpr char kVerdictConflict[] = "ART008";    // cross-machine pass
+// Whole-system passes (src/analysis/system_passes.cc): these need the
+// AppGraph, CostModel, and charge/budget axes from the AnalysisContext.
+inline constexpr char kEnergyInfeasibleTask[] = "ART009";   // energy-feasibility
+inline constexpr char kTimeBoundInfeasible[] = "ART010";    // energy-feasibility
+inline constexpr char kDeadViolation[] = "ART011";          // product reachability
+inline constexpr char kInevitableViolation[] = "ART012";    // product reachability
+inline constexpr char kReExecutionWarHazard[] = "ART013";   // re-execution hazard
+inline constexpr char kFlightRingHazard[] = "ART014";       // re-execution hazard
 }  // namespace diag
 
 struct Diagnostic {

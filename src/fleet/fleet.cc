@@ -392,6 +392,19 @@ StatusOr<FleetOutcome> RunFleet(const FleetSpec& spec) {
     return artifact.status();
   }
 
+  // Analyzer gate (sweep parity): one analysis of the fleet's single spec
+  // against its energy axes before any of the N devices burns time. A
+  // deployment whose properties are statically infeasible fails here with
+  // the rendered diagnostics, identically for any --shards value.
+  if (spec.analyze) {
+    const Status gate = sweep::PreAnalyzeSpec(
+        "fleet", spec.spec_label, spec_text, template_graph, spec.budgets,
+        spec.charges, /*flight=*/"off", /*flight_bytes=*/1024);
+    if (!gate.ok()) {
+      return gate;
+    }
+  }
+
   FleetContext ctx;
   ctx.app = spec.app;
   ctx.artifact = artifact.value();

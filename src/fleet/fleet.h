@@ -69,6 +69,11 @@ struct FleetSpec {
   // Attach a per-device obs bus + ObsStatsAggregator and fold the counts
   // (zero simulated cycles, like sweep's collect_stats).
   bool collect_obs = false;
+  // Sweep-parity fail-fast gate: run the whole-system static analyzer
+  // (src/analysis) over the fleet's spec against its charge/budget axes
+  // before any device simulates; analyzer errors abort the fleet with a
+  // Status (exit 2 from artemisc). `--no-analyze` opts out.
+  bool analyze = true;
 };
 
 // Contiguous device range owned by one shard; end exclusive.

@@ -28,6 +28,14 @@ namespace artemis::flight {
 // 0x01..0xFF range; every record type stays well under this.
 inline constexpr std::size_t kMaxPayloadBytes = 250;
 
+// Worst-case encoded payload across all record kinds, used by the static
+// analyzer (ART014) to reject rings too small to hold one record. The
+// largest encoder output is kTaskStart: 1 kind byte + 10 (zigzag time
+// delta) + 10 (seq) + 5 (task) + 5 (path) + 5 (attempt) varint bytes.
+// A record additionally occupies its seal byte plus the ring's zero
+// terminator, so the minimum useful capacity is this + 2.
+inline constexpr std::size_t kWorstCasePayloadBytes = 36;
+
 // Record kinds. Part of the artemis-flight/1 wire format: append new kinds,
 // never renumber.
 enum class RecordKind : std::uint8_t {

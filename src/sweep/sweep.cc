@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "src/analysis/analyzer.h"
 #include "src/apps/ar_app.h"
 #include "src/apps/greenhouse_app.h"
 #include "src/apps/health_app.h"
@@ -428,10 +429,63 @@ SweepRow RunSweepPoint(const SweepPoint& point, const SweepSpec& spec,
   return row;
 }
 
+Status PreAnalyzeSpec(const std::string& engine_name, const std::string& label,
+                      const std::string& text, const AppGraph& graph,
+                      const std::vector<EnergyUj>& budgets,
+                      const std::vector<SimDuration>& charges,
+                      const std::string& flight, std::size_t flight_bytes) {
+  StatusOr<SharedSpecArtifactPtr> artifact =
+      BuildSpecArtifact(text, graph, SpecArtifactStage::kLowered);
+  if (!artifact.ok()) {
+    // Unparseable / unlowerable specs are a per-point concern: they become
+    // error rows with the frontend's message, the established contract
+    // (SweepEngineTest.BadSpecBecomesErrorRowsNotProcessDeath).
+    return Status::Ok();
+  }
+  AnalysisOptions options;
+  if (!budgets.empty()) {
+    options.budgets = budgets;
+  }
+  if (!charges.empty()) {
+    options.charges = charges;
+  }
+  options.flight_enabled = flight != "off";
+  options.flight_bytes = flight_bytes;
+  const DiagnosticEngine engine =
+      AnalyzeMachines(artifact.value()->machines, graph, options);
+  if (engine.HasErrors()) {
+    return Status::Invalid(engine_name + ": static analysis of spec '" + label +
+                           "' found " + std::to_string(engine.ErrorCount()) +
+                           " error(s); fix the spec or pass --no-analyze\n" +
+                           engine.RenderText(label));
+  }
+  return Status::Ok();
+}
+
 StatusOr<SweepOutcome> RunSweep(const SweepSpec& spec, int jobs, CompiledSpecCache* cache) {
   StatusOr<std::vector<SweepPoint>> points = ExpandGrid(spec);
   if (!points.ok()) {
     return points.status();
+  }
+
+  // Analyzer gate: one serial pass over the unique specs of the grid (in
+  // first-appearance order, so the failing spec is deterministic for any
+  // job count), before a single point has burned simulation time.
+  if (spec.analyze) {
+    const AppGraph graph = BuildAppGraphByName(spec.app);
+    std::vector<std::string> seen;
+    for (const SweepPoint& point : points.value()) {
+      if (std::find(seen.begin(), seen.end(), point.spec_text) != seen.end()) {
+        continue;
+      }
+      seen.push_back(point.spec_text);
+      const Status gate =
+          PreAnalyzeSpec("sweep", point.spec_label, point.spec_text, graph,
+                         spec.budgets, spec.charges, spec.flight, spec.flight_bytes);
+      if (!gate.ok()) {
+        return gate;
+      }
+    }
   }
 
   CompiledSpecCache local_cache;
@@ -779,6 +833,11 @@ StatusOr<SweepSpec> ParseGridJson(
         return TypeError(key, "a positive integer (ring capacity in bytes)");
       }
       spec.flight_bytes = static_cast<std::size_t>(value->number());
+    } else if (key == "analyze") {
+      if (!value->is_bool()) {
+        return TypeError(key, "a boolean");
+      }
+      spec.analyze = value->boolean();
     } else {
       return Status::Invalid("sweep grid: unknown key \"" + key + "\"");
     }

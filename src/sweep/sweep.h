@@ -83,6 +83,12 @@ struct SweepSpec {
   // Footprint numbers land in the SweepRow flight_* fields.
   std::string flight = "off";
   std::size_t flight_bytes = 1024;
+  // Fail-fast static-analysis gate: before any point runs, every unique
+  // spec in the grid is pushed through the whole-system analyzer
+  // (src/analysis) against this grid's budget/charge/flight axes; analyzer
+  // errors abort the sweep with a Status (exit 2 from artemisc) instead of
+  // burning the grid. `--no-analyze` / {"analyze": false} opts out.
+  bool analyze = true;
   // C++-only hook, run inside the worker after the point's simulation, for
   // bench-specific metric extraction into SweepRow::metrics. Must be
   // thread-safe (it runs concurrently for different points) and must
@@ -157,6 +163,18 @@ AppGraph BuildAppGraphByName(const std::string& app);
 
 // Validates the axes and expands the cartesian grid.
 StatusOr<std::vector<SweepPoint>> ExpandGrid(const SweepSpec& spec);
+
+// Fail-fast pre-analysis gate shared by the sweep and fleet engines: runs
+// the whole-system static analyzer (src/analysis) over one spec with the
+// run's budget/charge/flight axes. Analyzer errors come back as an Invalid
+// status whose message embeds the rendered diagnostics (prefixed with
+// `engine_name`); specs that fail to parse/validate/lower return Ok here —
+// per-point setup already reports those as error rows, not engine death.
+Status PreAnalyzeSpec(const std::string& engine_name, const std::string& label,
+                      const std::string& text, const AppGraph& graph,
+                      const std::vector<EnergyUj>& budgets,
+                      const std::vector<SimDuration>& charges,
+                      const std::string& flight, std::size_t flight_bytes);
 
 // Runs the whole grid across `jobs` worker threads (clamped to
 // [1, min(64, #points)]). Pass an external cache to share artifacts across

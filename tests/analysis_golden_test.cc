@@ -19,6 +19,7 @@
 #include "src/spec/mayfly_frontend.h"
 #include "src/spec/parser.h"
 #include "src/spec/validator.h"
+#include "src/sweep/sweep.h"
 
 namespace artemis {
 namespace {
@@ -42,6 +43,12 @@ struct GoldenCase {
   const char* app_file;   // app-description file, or ""
   bool mayfly = false;
   bool expect_errors = false;
+  // Deployment axes for the whole-system passes (ART009-ART014); zero /
+  // empty fields keep the AnalysisOptions defaults.
+  double budget_uj = 0.0;           // single-budget axis override
+  const char* charge = "";          // charge-schedule axis ("6min", ...)
+  bool no_immortal = false;         // analyze without two-phase commit
+  std::size_t flight_bytes = 0;     // nonzero: enable the flight recorder
 };
 
 constexpr GoldenCase kCases[] = {
@@ -52,6 +59,20 @@ constexpr GoldenCase kCases[] = {
     {"bad_dead_state", "examples/specs/bad/dead_state.prop", "health", "", false, true},
     {"bad_unsat_guard", "examples/specs/bad/unsat_guard.prop", "health", "", false, true},
     {"bad_overlap", "examples/specs/bad/overlap.prop", "health", "", false, true},
+    // Whole-system fixtures: each pins the deployment axes that make its
+    // headline ART0xx code fire (tools/ci.sh drives the same combinations
+    // through the artemisc CLI).
+    {"bad_infeasible_budget", "examples/specs/bad/infeasible_budget.prop", "health", "", false,
+     true, 9'000.0},
+    {"bad_infeasible_mitd", "examples/specs/bad/infeasible_mitd.prop", "health", "", false,
+     true, 18'005.0, "6min"},
+    {"bad_dead_violation", "examples/specs/bad/dead_violation.prop", "health", "", false, true},
+    {"bad_inevitable_violation", "examples/specs/bad/inevitable_violation.prop", "health", "",
+     false, true},
+    {"bad_war_hazard", "examples/specs/bad/war_hazard.prop", "health", "", false, true, 0.0,
+     "", /*no_immortal=*/true},
+    {"bad_flight_erosion", "examples/specs/bad/flight_erosion.prop", "health", "", false, true,
+     0.0, "", false, /*flight_bytes=*/20},
 };
 
 AppGraph GraphFor(const GoldenCase& c) {
@@ -92,7 +113,21 @@ TEST(AnalysisGoldenTest, TextAndJsonOutputsMatchGoldens) {
     const auto machines = LowerSpec(parsed.value(), graph, {});
     ASSERT_TRUE(machines.ok()) << machines.status().ToString();
 
-    const DiagnosticEngine engine = AnalyzeMachines(machines.value(), graph);
+    AnalysisOptions options;
+    if (c.budget_uj > 0.0) {
+      options.budgets = {c.budget_uj};
+    }
+    if (c.charge[0] != '\0') {
+      const auto charge = sweep::ParseChargeSchedule(c.charge);
+      ASSERT_TRUE(charge.ok()) << charge.status().ToString();
+      options.charges = {charge.value()};
+    }
+    options.two_phase_commit = !c.no_immortal;
+    if (c.flight_bytes != 0) {
+      options.flight_enabled = true;
+      options.flight_bytes = c.flight_bytes;
+    }
+    const DiagnosticEngine engine = AnalyzeMachines(machines.value(), graph, options);
     EXPECT_EQ(engine.HasErrors(), c.expect_errors);
     CheckGolden(c.name, "txt", engine.RenderText(c.spec));
     CheckGolden(c.name, "json", engine.RenderJson());

@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "src/analysis/analyzer.h"
+#include "src/analysis/system_passes.h"
 #include "src/apps/ar_app.h"
 #include "src/apps/greenhouse_app.h"
 #include "src/apps/health_app.h"
@@ -460,6 +461,173 @@ TEST(AnalyzeSpecTest, GreenhouseSpecIsClean) {
 TEST(AnalyzeSpecTest, ArSpecIsClean) {
   const ArApp app = BuildArApp();
   ExpectSpecAnalyzesClean(ArAppSpec(), app.graph);
+}
+
+// ---- whole-system passes 6..8 (ART009-ART014) ---------------------------
+
+std::vector<StateMachine> LowerForGraph(const std::string& text, const AppGraph& graph) {
+  const auto parsed = SpecParser::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ValidationResult validation = SpecValidator::Validate(parsed.value(), graph);
+  EXPECT_TRUE(validation.ok()) << validation.status.ToString();
+  auto machines = LowerSpec(parsed.value(), graph, {});
+  EXPECT_TRUE(machines.ok()) << machines.status().ToString();
+  return std::move(machines).value();
+}
+
+const Diagnostic* FindCode(const std::vector<Diagnostic>& diagnostics,
+                           const std::string& code) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.code == code) {
+      return &d;
+    }
+  }
+  return nullptr;
+}
+
+constexpr char kAccelTriesSpec[] = "accel: {\n  maxTries: 10 onFail: skipPath;\n}\n";
+
+// The budget comparison is closed: a budget exactly equal to the attempt
+// cost commits the task (the capacitor cannot flap on equality), one
+// hundredth of a microjoule less can never commit it.
+TEST(EnergyFeasibilityPassTest, BudgetBoundaryAroundAttemptCost) {
+  const HealthApp app = BuildHealthApp();
+  const std::vector<StateMachine> machines = LowerForGraph(kAccelTriesSpec, app.graph);
+  std::vector<MachineFacts> facts;
+  facts.reserve(machines.size());
+  for (const StateMachine& m : machines) {
+    facts.push_back(ComputeMachineFacts(m, app.graph));
+  }
+  const TaskId accel = *app.graph.FindTask("accel");
+  const EnergyUj attempt =
+      TaskAttemptEnergy(app.graph, accel, machines, facts, DefaultCostModel());
+  // accel (an 18 ms peripheral burst) dominates every other health task, so
+  // a budget at exactly its attempt cost clears the whole graph.
+  AnalysisOptions options;
+  options.budgets = {attempt};
+  EXPECT_EQ(CountCode(AnalyzeMachines(machines, app.graph, options).diagnostics(),
+                      diag::kEnergyInfeasibleTask),
+            0);
+
+  options.budgets = {attempt - 0.01};
+  const std::vector<Diagnostic> short_diags =
+      AnalyzeMachines(machines, app.graph, options).diagnostics();
+  const Diagnostic* d = FindCode(short_diags, diag::kEnergyInfeasibleTask);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, DiagSeverity::kError);
+  EXPECT_NE(d->message.find("accel"), std::string::npos);
+}
+
+// Infeasible under only some of the supplied budgets demotes ART009 to a
+// warning: part of the deployment grid still commits.
+TEST(EnergyFeasibilityPassTest, PartialBudgetCoverageIsAWarning) {
+  const HealthApp app = BuildHealthApp();
+  const std::vector<StateMachine> machines = LowerForGraph(kAccelTriesSpec, app.graph);
+  std::vector<MachineFacts> facts;
+  facts.reserve(machines.size());
+  for (const StateMachine& m : machines) {
+    facts.push_back(ComputeMachineFacts(m, app.graph));
+  }
+  const TaskId accel = *app.graph.FindTask("accel");
+  const EnergyUj attempt =
+      TaskAttemptEnergy(app.graph, accel, machines, facts, DefaultCostModel());
+  AnalysisOptions options;
+  options.budgets = {attempt - 0.01, attempt + 1.0};
+  const std::vector<Diagnostic> diags =
+      AnalyzeMachines(machines, app.graph, options).diagnostics();
+  const Diagnostic* d = FindCode(diags, diag::kEnergyInfeasibleTask);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, DiagSeverity::kWarning);
+}
+
+// The best-case accel -> send delay on health path 2 is filter's 15 ms of
+// work plus the two 1 ms boundary slacks: an MITD bound at exactly 17 ms is
+// feasible on continuous power, 16 ms is not.
+TEST(EnergyFeasibilityPassTest, MitdBoundBoundaryAroundBestCaseDelay) {
+  const HealthApp app = BuildHealthApp();
+  const std::vector<StateMachine> feasible = LowerForGraph(
+      "send: {\n  MITD: 17ms dpTask: accel onFail: restartPath Path: 2;\n}\n", app.graph);
+  EXPECT_EQ(CountCode(AnalyzeMachines(feasible, app.graph).diagnostics(),
+                      diag::kTimeBoundInfeasible),
+            0);
+
+  const std::vector<StateMachine> infeasible = LowerForGraph(
+      "send: {\n  MITD: 16ms dpTask: accel onFail: restartPath Path: 2;\n}\n", app.graph);
+  const std::vector<Diagnostic> diags =
+      AnalyzeMachines(infeasible, app.graph).diagnostics();
+  const Diagnostic* d = FindCode(diags, diag::kTimeBoundInfeasible);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, DiagSeverity::kError);
+}
+
+TEST(ProductReachabilityPassTest, ScopeMismatchMakesFailSitesDead) {
+  const HealthApp app = BuildHealthApp();
+  const std::vector<StateMachine> machines = LowerForGraph(
+      "send: {\n  MITD: 5min dpTask: classify onFail: restartPath Path: 2;\n}\n", app.graph);
+  const std::vector<Diagnostic> diags = AnalyzeMachines(machines, app.graph).diagnostics();
+  EXPECT_EQ(CountCode(diags, diag::kDeadViolation), 1);
+  EXPECT_EQ(CountCode(diags, diag::kInevitableViolation), 0);
+}
+
+TEST(ProductReachabilityPassTest, UnmeetableCollectIsInevitable) {
+  const HealthApp app = BuildHealthApp();
+  const std::vector<StateMachine> machines = LowerForGraph(
+      "send: {\n  collect: 1 dpTask: micSense onFail: skipTask Path: 2;\n}\n", app.graph);
+  const std::vector<Diagnostic> diags = AnalyzeMachines(machines, app.graph).diagnostics();
+  const Diagnostic* d = FindCode(diags, diag::kInevitableViolation);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, DiagSeverity::kError);
+  EXPECT_EQ(CountCode(diags, diag::kDeadViolation), 0);
+}
+
+TEST(ProductReachabilityPassTest, SatisfiableCollectIsClean) {
+  const HealthApp app = BuildHealthApp();
+  const std::vector<StateMachine> machines = LowerForGraph(
+      "send: {\n  collect: 1 dpTask: accel onFail: restartPath Path: 2;\n}\n", app.graph);
+  const std::vector<Diagnostic> diags = AnalyzeMachines(machines, app.graph).diagnostics();
+  EXPECT_EQ(CountCode(diags, diag::kInevitableViolation), 0);
+  EXPECT_EQ(CountCode(diags, diag::kDeadViolation), 0);
+}
+
+TEST(ReExecutionHazardPassTest, WarSlotOnlyFlaggedWithoutTwoPhaseCommit) {
+  const HealthApp app = BuildHealthApp();
+  const std::vector<StateMachine> machines =
+      LowerForGraph("micSense: {\n  maxTries: 3 onFail: skipPath;\n}\n", app.graph);
+  EXPECT_EQ(CountCode(AnalyzeMachines(machines, app.graph).diagnostics(),
+                      diag::kReExecutionWarHazard),
+            0);
+  AnalysisOptions options;
+  options.two_phase_commit = false;
+  const std::vector<Diagnostic> diags =
+      AnalyzeMachines(machines, app.graph, options).diagnostics();
+  const Diagnostic* d = FindCode(diags, diag::kReExecutionWarHazard);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, DiagSeverity::kError);
+}
+
+TEST(ReExecutionHazardPassTest, FlightRingSizeBoundaries) {
+  const HealthApp app = BuildHealthApp();
+  const std::vector<StateMachine> machines = LowerForGraph(kAccelTriesSpec, app.graph);
+  AnalysisOptions options;
+  options.flight_enabled = true;
+  options.flight_bytes = 20;  // below the 38-byte worst-case footprint
+  const std::vector<Diagnostic> tiny =
+      AnalyzeMachines(machines, app.graph, options).diagnostics();
+  const Diagnostic* d = FindCode(tiny, diag::kFlightRingHazard);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, DiagSeverity::kError);
+
+  options.flight_bytes = 50;  // holds one record but not two: erosion warning
+  const std::vector<Diagnostic> cramped =
+      AnalyzeMachines(machines, app.graph, options).diagnostics();
+  d = FindCode(cramped, diag::kFlightRingHazard);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, DiagSeverity::kWarning);
+
+  options.flight_bytes = 1024;
+  EXPECT_EQ(CountCode(AnalyzeMachines(machines, app.graph, options).diagnostics(),
+                      diag::kFlightRingHazard),
+            0);
 }
 
 }  // namespace

@@ -240,6 +240,32 @@ TEST(FleetValidationTest, RejectsBadSpecs) {
   EXPECT_FALSE(RunFleet(spec).ok());
 }
 
+TEST(FleetValidationTest, AnalyzerGateFailsFastOnInfeasibleDeployment) {
+  FleetSpec spec;
+  spec.app = "health";
+  spec.spec_label = "infeasible";
+  spec.spec_text = "accel: {\n  maxTries: 10 onFail: skipPath;\n}\n";
+  // 9000 uJ cannot cover accel's ~18 001 uJ atomic attempt: ART009 refuses
+  // the whole fleet before any device simulates.
+  spec.budgets = {9'000.0};
+  spec.devices = 4;
+  spec.shards = 2;
+  const StatusOr<FleetOutcome> gated = RunFleet(spec);
+  ASSERT_FALSE(gated.ok());
+  EXPECT_NE(gated.status().ToString().find("ART009"), std::string::npos);
+  EXPECT_NE(gated.status().ToString().find("fleet"), std::string::npos);
+
+  // The escape hatch runs the doomed fleet anyway (bounded by the horizon).
+  spec.analyze = false;
+  spec.devices = 1;
+  spec.shards = 1;
+  spec.iterations = 0;
+  spec.horizon = 1 * kSecond;
+  const StatusOr<FleetOutcome> forced = RunFleet(spec);
+  ASSERT_TRUE(forced.ok()) << forced.status().ToString();
+  EXPECT_EQ(forced.value().devices, 1u);
+}
+
 TEST(FleetValidationTest, BatchOutcomeReportsHandlerClasses) {
   FleetSpec spec = SmallFleet("batch", 1);
   spec.devices = 2;

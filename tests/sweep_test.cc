@@ -223,6 +223,42 @@ TEST(SweepEngineTest, BadSpecBecomesErrorRowsNotProcessDeath) {
   EXPECT_NE(json.find("\"status\": \"error\""), std::string::npos);
 }
 
+TEST(SweepEngineTest, AnalyzerGateFailsFastOnInfeasibleDeployment) {
+  sweep::SweepSpec grid;
+  grid.app = "health";
+  grid.specs = {{"infeasible", "accel: {\n  maxTries: 10 onFail: skipPath;\n}\n"}};
+  // 9000 uJ cannot cover accel's ~18 001 uJ atomic attempt: ART009 before
+  // any point simulates, with the same status for any job count.
+  grid.budgets = {9'000.0};
+  grid.max_wall = 1 * kSecond;
+  const StatusOr<sweep::SweepOutcome> gated = sweep::RunSweep(grid, 4);
+  ASSERT_FALSE(gated.ok());
+  EXPECT_NE(gated.status().ToString().find("ART009"), std::string::npos);
+  EXPECT_NE(gated.status().ToString().find("sweep"), std::string::npos);
+  const StatusOr<sweep::SweepOutcome> serial = sweep::RunSweep(grid, 1);
+  ASSERT_FALSE(serial.ok());
+  EXPECT_EQ(serial.status().ToString(), gated.status().ToString());
+
+  // The documented escape hatch: the grid still runs (and starves).
+  grid.analyze = false;
+  const StatusOr<sweep::SweepOutcome> forced = sweep::RunSweep(grid, 1);
+  ASSERT_TRUE(forced.ok()) << forced.status().ToString();
+  ASSERT_EQ(forced.value().rows.size(), 1u);
+}
+
+TEST(SweepEngineTest, AnalyzerGateStillYieldsErrorRowsForUnparseableSpecs) {
+  // The gate must not steal the error-row contract: a spec the frontend
+  // rejects is a per-point diagnosis, not engine death.
+  sweep::SweepSpec grid;
+  grid.specs = {{"broken", "not a spec at all {"}};
+  grid.charges = {Charge(1)};
+  grid.budgets = {kBudget};
+  const StatusOr<sweep::SweepOutcome> outcome = sweep::RunSweep(grid, 2);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_EQ(outcome.value().rows.size(), 1u);
+  EXPECT_FALSE(outcome.value().rows[0].ok);
+}
+
 TEST(SweepEngineTest, CollectStatsDoesNotPerturbSimulation) {
   sweep::SweepSpec grid;
   grid.charges = {Charge(2)};
@@ -264,6 +300,7 @@ TEST(SweepGridJsonTest, ParsesFullGridDocument) {
     "seeds": [1, 7],
     "max_wall": "8h",
     "collect_stats": true,
+    "analyze": false,
     "specs": [{"label": "default"}, {"label": "inline", "text": "accel: { maxTries: 3 onFail: skipPath; }"}]
   })";
   StatusOr<sweep::SweepSpec> grid = sweep::ParseGridJson(text);
@@ -274,6 +311,7 @@ TEST(SweepGridJsonTest, ParsesFullGridDocument) {
   EXPECT_EQ(grid.value().seeds[1], 7u);
   EXPECT_EQ(grid.value().max_wall, 8 * kHour);
   EXPECT_TRUE(grid.value().collect_stats);
+  EXPECT_FALSE(grid.value().analyze);
   EXPECT_EQ(grid.value().specs[1].label, "inline");
   StatusOr<std::vector<sweep::SweepPoint>> points = sweep::ExpandGrid(grid.value());
   ASSERT_TRUE(points.ok()) << points.status().ToString();

@@ -3,6 +3,9 @@
 //
 //   artemisc check    <spec-file> [--app health|greenhouse] [--mayfly-lang]
 //                     [--analyze] [--json] [--Werror] [--policy <p>]
+//                     [--charges continuous,1min,...] [--budgets <uJ>,...]
+//                     [--no-immortal] [--flight off|verdicts|full]
+//                     [--flight-bytes N]
 //   artemisc pretty   <spec-file>
 //   artemisc codegen  <spec-file> [--app ...] [--no-immortal] [--no-analyze]
 //   artemisc dot      <spec-file> [--app ...] [--no-analyze]
@@ -18,12 +21,12 @@
 //                     [--backends ...] [--timekeepers ...] [--seeds ...]
 //                     [--max-wall <duration>] [--stats] [--jobs N]
 //                     [--flight off|verdicts|full] [--flight-bytes N]
-//                     [--format json|csv|table] [--out <file>]
+//                     [--no-analyze] [--format json|csv|table] [--out <file>]
 //   artemisc fleet    [--devices N] [--shards J] [--minutes M | --iterations K]
 //                     [--app ...] [--spec <file>] [--monitor scalar|batch]
 //                     [--backend ...] [--charges continuous,6min,...]
 //                     [--budgets <uJ>,...] [--seed S] [--tile N] [--stats]
-//                     [--format json|table] [--out <file>]
+//                     [--no-analyze] [--format json|table] [--out <file>]
 //   artemisc forensics <dump|timeline|audit|detect> [--app ...] [--spec <file>]
 //                     [--schedule 6min|continuous] [--budget <uJ>]
 //                     [--backend ...] [--level verdicts|full]
@@ -109,6 +112,9 @@ int Usage() {
                "  check    <spec> [--app health|greenhouse] [--mayfly-lang]\n"
                "           [--analyze] [--json] [--Werror]\n"
                "           [--policy severity|first-wins|last-wins]\n"
+               "           [--charges continuous,1min,...] [--budgets <uJ>,...]\n"
+               "           [--no-immortal] [--flight off|verdicts|full]\n"
+               "           [--flight-bytes N]\n"
                "  pretty   <spec>\n"
                "  codegen  <spec> [--app ...] [--no-immortal] [--no-analyze]\n"
                "  dot      <spec> [--app ...] [--no-analyze]\n"
@@ -125,12 +131,12 @@ int Usage() {
                "           [--backends ...] [--timekeepers ...] [--seeds ...]\n"
                "           [--max-wall <duration>] [--stats] [--jobs N]\n"
                "           [--flight off|verdicts|full] [--flight-bytes N]\n"
-               "           [--format json|csv|table] [--out <file>]\n"
+               "           [--no-analyze] [--format json|csv|table] [--out <file>]\n"
                "  fleet    [--devices N] [--shards J] [--minutes M | --iterations K]\n"
                "           [--app ...] [--spec <file>] [--monitor scalar|batch]\n"
                "           [--backend ...] [--charges continuous,6min,...]\n"
                "           [--budgets <uJ>,...] [--seed S] [--tile N] [--stats]\n"
-               "           [--format json|table] [--out <file>]\n"
+               "           [--no-analyze] [--format json|table] [--out <file>]\n"
                "  forensics <dump|timeline|audit|detect> [--app ...] [--spec <file>]\n"
                "           [--schedule 6min|continuous] [--budget <uJ>] [--backend ...]\n"
                "           [--level verdicts|full] [--flight-bytes N]\n"
@@ -549,6 +555,39 @@ StatusOr<SpecAst> ParseSpec(const Args& args, const std::string& source) {
   return SpecParser::Parse(source);
 }
 
+std::vector<std::string> SplitCommaList(const std::string& text);  // defined below
+
+// Deployment axes for the whole-system analyzer passes (ART009-ART014),
+// from the shared --charges/--budgets/--flight/--no-immortal flags.
+// Defaults: the single --budget value, continuous power, two-phase commit
+// on, flight recorder off. False on an unparseable charge schedule.
+bool FillAnalysisOptions(const Args& args, AnalysisOptions* options) {
+  options->policy = args.policy;
+  options->werror = args.werror;
+  options->budgets = {args.budget};
+  if (!args.sweep_budgets.empty()) {
+    options->budgets.clear();
+    for (const std::string& budget : SplitCommaList(args.sweep_budgets)) {
+      options->budgets.push_back(std::atof(budget.c_str()));
+    }
+  }
+  if (!args.sweep_charges.empty()) {
+    options->charges.clear();
+    for (const std::string& schedule : SplitCommaList(args.sweep_charges)) {
+      StatusOr<SimDuration> charge = sweep::ParseChargeSchedule(schedule);
+      if (!charge.ok()) {
+        std::fprintf(stderr, "artemisc: %s\n", charge.status().ToString().c_str());
+        return false;
+      }
+      options->charges.push_back(charge.value());
+    }
+  }
+  options->two_phase_commit = args.immortal;
+  options->flight_enabled = !args.sweep_flight.empty() && args.sweep_flight != "off";
+  options->flight_bytes = args.flight_bytes;
+  return true;
+}
+
 int RunCheck(const Args& args, const std::string& source) {
   auto app = MakeApp(args);
   if (!app.has_value()) {
@@ -596,8 +635,9 @@ int RunCheck(const Args& args, const std::string& source) {
       return kExitFindings;
     }
     AnalysisOptions options;
-    options.policy = args.policy;
-    options.werror = args.werror;
+    if (!FillAnalysisOptions(args, &options)) {
+      return kExitUsage;
+    }
     const DiagnosticEngine engine = AnalyzeMachines(machines.value(), app->graph, options);
     if (args.json) {
       std::printf("%s", engine.RenderJson().c_str());
@@ -651,8 +691,9 @@ int RunCodegen(const Args& args, const std::string& source, bool dot) {
   DotAnnotations annotations;
   if (!args.no_analyze) {
     AnalysisOptions options;
-    options.policy = args.policy;
-    options.werror = args.werror;
+    if (!FillAnalysisOptions(args, &options)) {
+      return kExitUsage;
+    }
     const DiagnosticEngine engine = AnalyzeMachines(machines.value(), app->graph, options);
     std::fprintf(stderr, "%s", engine.RenderText(args.spec_path).c_str());
     analyzer_errors = engine.HasErrors();
@@ -1128,6 +1169,9 @@ int RunSweepCmd(const Args& args) {
     grid.flight = args.sweep_flight;
     grid.flight_bytes = args.flight_bytes;
   }
+  if (args.no_analyze) {
+    grid.analyze = false;
+  }
 
   StatusOr<sweep::SweepOutcome> outcome = sweep::RunSweep(grid, args.jobs);
   if (!outcome.ok()) {
@@ -1210,6 +1254,9 @@ int RunFleetCmd(const Args& args) {
     spec.horizon = static_cast<SimDuration>(std::atoll(args.fleet_minutes.c_str())) * kMinute;
   } else if (!args.fleet_iterations.empty()) {
     spec.iterations = static_cast<std::uint64_t>(std::atoll(args.fleet_iterations.c_str()));
+  }
+  if (args.no_analyze) {
+    spec.analyze = false;
   }
 
   StatusOr<fleet::FleetOutcome> outcome = fleet::RunFleet(spec);

@@ -4,8 +4,10 @@
 #   2. Sanitize build (ASan + UBSan) + tier-1 ctest suite, via
 #      tools/run_sanitized_tests.sh.
 #   3. Static analysis gate: `artemisc check --analyze --json` must come out
-#      clean (exit 0) for every shipped example spec, and must FAIL (exit 1)
-#      for every fixture under examples/specs/bad/.
+#      clean (exit 0) for every shipped example spec — including the
+#      EXPERIMENTS.md charge grid — and must FAIL (exit 1) for every fixture
+#      under examples/specs/bad/, each reporting its headline ART0xx code
+#      under the deployment axes that trigger it.
 #   4. Golden-trace gate: `artemisc trace` of the health app under 6-minute
 #      charging must be byte-identical to tests/golden/trace/health_6min.jsonl
 #      (checked with `artemisc trace diff`); likewise `artemisc forensics
@@ -14,12 +16,18 @@
 #   5. Docs link check: every relative .md link in README.md, DESIGN.md,
 #      EXPERIMENTS.md, and docs/ must resolve to an existing file.
 #   6. Sweep determinism smoke: `artemisc sweep` over a small grid must
-#      produce byte-identical JSON for --jobs 1 and --jobs 4, with exit 0.
+#      produce byte-identical JSON for --jobs 1 and --jobs 4, with exit 0;
+#      a statically infeasible deployment must be refused with exit 2
+#      before any point runs.
 #   7. Fleet determinism smoke: `artemisc fleet` over a small device fleet
 #      must produce byte-identical JSON for --shards 1 and --shards 4, with
-#      exit 0 (the batch-VM differential fuzz runs in stage 1/2/8 via
-#      compiled_monitor_test; fleet_test covers shard/tile determinism).
-#   8. ThreadSanitizer build + tier-1 ctest suite, via
+#      exit 0 (the batch-VM differential fuzz runs in stage 1/2/9 via
+#      compiled_monitor_test; fleet_test covers shard/tile determinism);
+#      the same infeasible deployment must be refused with exit 2.
+#   8. clang-tidy (bugprone-*/performance-*/concurrency-*, .clang-tidy at
+#      the repo root) over src/ and tools/; skipped with a notice when
+#      clang-tidy is not installed.
+#   9. ThreadSanitizer build + tier-1 ctest suite, via
 #      tools/run_tsan_tests.sh (races in the sweep engine's thread pool,
 #      the compiled-spec cache, and the fleet engine's shard workers —
 #      fleet_test runs its sharded configurations under TSan here).
@@ -33,15 +41,15 @@ release_dir="${1:-${repo_root}/build-ci}"
 sanitize_dir="${2:-${repo_root}/build-sanitize}"
 tsan_dir="${3:-${repo_root}/build-tsan}"
 
-echo "== [1/8] Release build + tests =="
+echo "== [1/9] Release build + tests =="
 cmake -B "${release_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${release_dir}" -j "$(nproc)"
 ctest --test-dir "${release_dir}" --output-on-failure
 
-echo "== [2/8] Sanitized build + tests =="
+echo "== [2/9] Sanitized build + tests =="
 "${repo_root}/tools/run_sanitized_tests.sh" "${sanitize_dir}"
 
-echo "== [3/8] Static analysis over example specs =="
+echo "== [3/9] Static analysis over example specs =="
 artemisc="${release_dir}/tools/artemisc"
 
 check_clean() {
@@ -74,11 +82,26 @@ specs="${repo_root}/examples/specs"
 check_clean "health.prop" "${specs}/health.prop" --app health
 check_clean "health.mayfly" "${specs}/health.mayfly" --app health --mayfly-lang
 check_clean "sensornet.prop" "${specs}/sensornet.prop" --app-file "${specs}/sensornet.app"
+# The EXPERIMENTS.md deployment grid must be statically feasible.
+check_clean "health.prop (charge grid)" "${specs}/health.prop" --app health \
+  --charges continuous,1min,3min,6min --budgets 19500
 check_dirty "bad/dead_state.prop" ART001 "${specs}/bad/dead_state.prop" --app health
 check_dirty "bad/unsat_guard.prop" ART003 "${specs}/bad/unsat_guard.prop" --app health
 check_dirty "bad/overlap.prop" ART005 "${specs}/bad/overlap.prop" --app health
+# Whole-system fixtures: each needs the deployment axes that expose it.
+check_dirty "bad/infeasible_budget.prop" ART009 "${specs}/bad/infeasible_budget.prop" \
+  --app health --budgets 9000
+check_dirty "bad/infeasible_mitd.prop" ART010 "${specs}/bad/infeasible_mitd.prop" \
+  --app health --budgets 18005 --charges 6min
+check_dirty "bad/dead_violation.prop" ART011 "${specs}/bad/dead_violation.prop" --app health
+check_dirty "bad/inevitable_violation.prop" ART012 \
+  "${specs}/bad/inevitable_violation.prop" --app health
+check_dirty "bad/war_hazard.prop" ART013 "${specs}/bad/war_hazard.prop" \
+  --app health --no-immortal
+check_dirty "bad/flight_erosion.prop" ART014 "${specs}/bad/flight_erosion.prop" \
+  --app health --flight full --flight-bytes 20
 
-echo "== [4/8] Golden-trace regression =="
+echo "== [4/9] Golden-trace regression =="
 # The exported observability stream is deterministic: a fresh run of the
 # canonical scenario must reproduce the checked-in golden byte-for-byte.
 trace_tmp="$(mktemp /tmp/artemis_trace.XXXXXX.jsonl)"
@@ -111,7 +134,7 @@ if ! "${artemisc}" forensics audit --app health --schedule 6min > /dev/null 2>&1
 fi
 echo "ok: health 6min flight log audits clean"
 
-echo "== [5/8] Docs link check =="
+echo "== [5/9] Docs link check =="
 # Every relative .md link in the top-level docs and docs/ must resolve.
 # Matches [text](path.md) and [text](path.md#anchor); external http(s)
 # links are skipped.
@@ -137,7 +160,7 @@ if [[ "${link_errors}" -ne 0 ]]; then
 fi
 echo "ok: all relative .md links resolve"
 
-echo "== [6/8] Sweep determinism smoke =="
+echo "== [6/9] Sweep determinism smoke =="
 # The parallel sweep engine's export must not depend on the worker count.
 sweep_j1="$(mktemp /tmp/artemis_sweep_j1.XXXXXX.json)"
 sweep_j4="$(mktemp /tmp/artemis_sweep_j4.XXXXXX.json)"
@@ -153,7 +176,19 @@ if ! diff -q "${sweep_j1}" "${sweep_j4}" > /dev/null; then
 fi
 echo "ok: sweep JSON is byte-identical for --jobs 1 and --jobs 4"
 
-echo "== [7/8] Fleet determinism smoke =="
+# A statically infeasible deployment must be refused before any point runs,
+# identically for any job count: exit 2 (usage-level refusal), not a grid
+# of failing rows.
+rc=0
+"${artemisc}" sweep --app health --spec "${specs}/bad/infeasible_budget.prop" \
+  --budgets 9000 --format json > /dev/null 2>&1 || rc=$?
+if [[ "${rc}" -ne 2 ]]; then
+  echo "CI FAIL: infeasible sweep deployment should be refused with exit 2 (got ${rc})" >&2
+  exit 1
+fi
+echo "ok: infeasible sweep deployment refused with exit 2"
+
+echo "== [7/9] Fleet determinism smoke =="
 # The sharded fleet engine's export must not depend on the shard count.
 fleet_s1="$(mktemp /tmp/artemis_fleet_s1.XXXXXX.json)"
 fleet_s4="$(mktemp /tmp/artemis_fleet_s4.XXXXXX.json)"
@@ -170,7 +205,38 @@ if ! diff -q "${fleet_s1}" "${fleet_s4}" > /dev/null; then
 fi
 echo "ok: fleet JSON is byte-identical for --shards 1 and --shards 4"
 
-echo "== [8/8] ThreadSanitizer build + tests =="
+# Fleet parity: the same infeasible deployment is refused up front.
+rc=0
+"${artemisc}" fleet --app health --spec "${specs}/bad/infeasible_budget.prop" \
+  --devices 4 --iterations 1 --budgets 9000 --format json > /dev/null 2>&1 || rc=$?
+if [[ "${rc}" -ne 2 ]]; then
+  echo "CI FAIL: infeasible fleet deployment should be refused with exit 2 (got ${rc})" >&2
+  exit 1
+fi
+echo "ok: infeasible fleet deployment refused with exit 2"
+
+echo "== [8/9] clang-tidy static analysis =="
+if command -v clang-tidy > /dev/null 2>&1; then
+  # Reuse the release build's compile commands; .clang-tidy at the repo
+  # root scopes the checks (bugprone-*, performance-*, concurrency-*).
+  cmake -B "${release_dir}" -S "${repo_root}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    > /dev/null
+  tidy_fail=0
+  while IFS= read -r source; do
+    if ! clang-tidy -p "${release_dir}" --quiet "${repo_root}/${source}" 2> /dev/null; then
+      echo "CI FAIL: clang-tidy findings in ${source}" >&2
+      tidy_fail=1
+    fi
+  done < <(git -C "${repo_root}" ls-files 'src/*.cc' 'tools/*.cc')
+  if [[ "${tidy_fail}" -ne 0 ]]; then
+    exit 1
+  fi
+  echo "ok: clang-tidy is clean over src/ and tools/"
+else
+  echo "skip: clang-tidy not installed (stage runs where the toolchain provides it)"
+fi
+
+echo "== [9/9] ThreadSanitizer build + tests =="
 "${repo_root}/tools/run_tsan_tests.sh" "${tsan_dir}"
 
 echo "CI: all stages passed"
