@@ -38,6 +38,10 @@ inline constexpr char kDeadViolation[] = "ART011";          // product reachabil
 inline constexpr char kInevitableViolation[] = "ART012";    // product reachability
 inline constexpr char kReExecutionWarHazard[] = "ART013";   // re-execution hazard
 inline constexpr char kFlightRingHazard[] = "ART014";       // re-execution hazard
+// Hot-swap passes (src/swap/migration.cc, src/swap/hotswap.cc): run over an
+// (old image, new image, migrate block) triple before a live replacement.
+inline constexpr char kMigrationMismatch[] = "ART015";      // migration planner
+inline constexpr char kSwapWindowInfeasible[] = "ART016";   // swap-energy pass
 }  // namespace diag
 
 struct Diagnostic {

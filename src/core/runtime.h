@@ -70,6 +70,9 @@ class ArtemisRuntime {
   const IntermittentKernel& kernel() const { return *kernel_; }
   IntermittentKernel& kernel() { return *kernel_; }
   const MonitorSet& monitors() const { return *monitors_; }
+  // Mutable access, for the hot-swap controller (src/swap/hotswap.h) which
+  // replaces the set's monitors when a new image commits.
+  MonitorSet& monitors() { return *monitors_; }
   const SpecAst& spec() const { return spec_; }
   const std::vector<std::string>& validation_warnings() const { return warnings_; }
   Mcu& mcu() { return *mcu_; }

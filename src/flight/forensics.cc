@@ -25,6 +25,13 @@ std::string Frac3(std::uint32_t fraction_milli) {
   return buf;
 }
 
+// Spec hashes render as fixed-width hex so timelines and dumps line up.
+std::string Hex16(std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(value));
+  return buf;
+}
+
 }  // namespace
 
 const char* ActionCodeName(std::uint8_t code) {
@@ -114,6 +121,10 @@ std::string RenderDumpJsonl(const std::vector<FlightRecord>& records,
       case RecordKind::kChargeSnapshot:
         out << ",\"epoch\":" << r.epoch << ",\"frac\":" << Frac3(r.fraction_milli);
         break;
+      case RecordKind::kSwapEpoch:
+        out << ",\"old_hash\":\"" << Hex16(r.old_hash) << "\",\"new_hash\":\""
+            << Hex16(r.new_hash) << "\",\"image_epoch\":" << r.image_epoch;
+        break;
     }
     out << "}\n";
   }
@@ -173,6 +184,11 @@ std::string RenderTimeline(const std::vector<FlightRecord>& records,
         break;
       case RecordKind::kChargeSnapshot:
         out << " frac=" << Frac3(r.fraction_milli);
+        break;
+      case RecordKind::kSwapEpoch:
+        out << " spec " << Hex16(r.old_hash) << " -> " << Hex16(r.new_hash)
+            << " image-epoch=" << r.image_epoch
+            << "   [monitor image replaced; verdicts after this line are the new spec's]";
         break;
       case RecordKind::kBoot:
         break;
@@ -261,6 +277,13 @@ AuditReport Audit(const std::vector<FlightRecord>& records,
                  " for epoch " + std::to_string(r.epoch);
         break;
       }
+      case RecordKind::kSwapEpoch:
+        // The swap commit is device-internal truth — the obs bus has no
+        // counterpart event (the record's seal *is* the commit), so the
+        // audit accepts it and relies on the image-epoch monotonicity the
+        // decoder already enforces structurally.
+        ok = true;
+        break;
     }
     if (ok) {
       ++report.matched;

@@ -16,13 +16,15 @@ const char* RecordKindName(RecordKind kind) {
       return "verdict";
     case RecordKind::kChargeSnapshot:
       return "charge-snapshot";
+    case RecordKind::kSwapEpoch:
+      return "swap-epoch";
   }
   return "unknown";
 }
 
 bool IsValidRecordKind(std::uint8_t value) {
   return value >= static_cast<std::uint8_t>(RecordKind::kBoot) &&
-         value <= static_cast<std::uint8_t>(RecordKind::kChargeSnapshot);
+         value <= static_cast<std::uint8_t>(RecordKind::kSwapEpoch);
 }
 
 void PutVarint(std::vector<std::uint8_t>* out, std::uint64_t value) {
@@ -101,6 +103,12 @@ std::vector<std::uint8_t> EncodePayload(const FlightRecord& record, SimTime last
       PutVarint(&out, record.epoch);
       PutVarint(&out, record.fraction_milli);
       break;
+    case RecordKind::kSwapEpoch:
+      PutVarint(&out, delta);
+      PutVarint(&out, record.old_hash);
+      PutVarint(&out, record.new_hash);
+      PutVarint(&out, record.image_epoch);
+      break;
   }
   return out;
 }
@@ -175,6 +183,11 @@ bool DecodePayload(const std::uint8_t* data, std::size_t size, SimTime last_time
     case RecordKind::kChargeSnapshot:
       ok = GetU32(data, size, &pos, &record->epoch) &&
            GetU32(data, size, &pos, &record->fraction_milli);
+      break;
+    case RecordKind::kSwapEpoch:
+      ok = GetVarint(data, size, &pos, &record->old_hash) &&
+           GetVarint(data, size, &pos, &record->new_hash) &&
+           GetU32(data, size, &pos, &record->image_epoch);
       break;
   }
   // A sealed payload is consumed exactly; trailing bytes mean corruption.

@@ -30,10 +30,11 @@ inline constexpr std::size_t kMaxPayloadBytes = 250;
 
 // Worst-case encoded payload across all record kinds, used by the static
 // analyzer (ART014) to reject rings too small to hold one record. The
-// largest encoder output is kTaskStart: 1 kind byte + 10 (zigzag time
-// delta) + 10 (seq) + 5 (task) + 5 (path) + 5 (attempt) varint bytes.
-// A record additionally occupies its seal byte plus the ring's zero
-// terminator, so the minimum useful capacity is this + 2.
+// largest encoder outputs tie at 36 bytes: kTaskStart (1 kind byte + 10
+// zigzag time delta + 10 seq + 5 task + 5 path + 5 attempt) and kSwapEpoch
+// (1 kind byte + 10 zigzag time delta + 10 old hash + 10 new hash + 5
+// image epoch). A record additionally occupies its seal byte plus the
+// ring's zero terminator, so the minimum useful capacity is this + 2.
 inline constexpr std::size_t kWorstCasePayloadBytes = 36;
 
 // Record kinds. Part of the artemis-flight/1 wire format: append new kinds,
@@ -45,6 +46,8 @@ enum class RecordKind : std::uint8_t {
   kCommit = 4,          // checkpoint commit: committed bytes
   kVerdict = 5,         // violated monitor verdict + corrective action
   kChargeSnapshot = 6,  // stored-energy fraction sample (per boot)
+  kSwapEpoch = 7,       // monitor hot-swap committed: old/new spec hashes +
+                        // the new image epoch (docs/hotswap.md)
 };
 
 // Stable dotted name, e.g. "task-start"; part of the JSONL dump schema.
@@ -65,6 +68,9 @@ struct FlightRecord {
   std::uint8_t action = 0;         // verdict: ActionType code
   std::uint32_t target_path = 0;   // verdict: explicit path target (0 = none)
   std::uint32_t fraction_milli = 0;  // charge-snapshot: fraction * 1000
+  std::uint64_t old_hash = 0;      // swap-epoch: retiring image's spec hash
+  std::uint64_t new_hash = 0;      // swap-epoch: installed image's spec hash
+  std::uint32_t image_epoch = 0;   // swap-epoch: new image's header epoch
 };
 
 // ---- LEB128 varints ------------------------------------------------------

@@ -107,6 +107,20 @@ bool FlightRecorder::AppendVerdict(std::uint64_t seq, std::uint32_t task,
   return Append(r);
 }
 
+bool FlightRecorder::AppendSwapEpoch(std::uint64_t old_hash, std::uint64_t new_hash,
+                                     std::uint32_t image_epoch) {
+  if (level_ == FlightLevel::kOff) {
+    return true;
+  }
+  FlightRecord r;
+  r.kind = RecordKind::kSwapEpoch;
+  r.time = port_->DeviceNow();
+  r.old_hash = old_hash;
+  r.new_hash = new_hash;
+  r.image_epoch = image_epoch;
+  return Append(r);
+}
+
 bool FlightRecorder::AppendChargeSnapshot(double fraction) {
   if (level_ != FlightLevel::kFull) {
     return true;

@@ -124,6 +124,12 @@ class FlightRecorder {
                      std::uint32_t target_path);
   // `fraction` in [0, 1]; stored as parts-per-thousand.
   bool AppendChargeSnapshot(double fraction);
+  // Monitor hot-swap committed (docs/hotswap.md). Like verdicts, swap
+  // epochs are recorded at every level except kOff: forensics cannot
+  // stitch a cross-version timeline without them. The swap controller uses
+  // this record's single-byte seal as the swap's atomic commit point.
+  bool AppendSwapEpoch(std::uint64_t old_hash, std::uint64_t new_hash,
+                       std::uint32_t image_epoch);
 
   // Host-side view for the decoder / forensics tooling.
   RingImage Image() const;

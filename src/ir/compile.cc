@@ -178,6 +178,9 @@ class Compiler {
       slot_ids_.emplace(var, static_cast<std::uint32_t>(m_.var_names.size()));
       m_.var_names.push_back(var);
       m_.initial_slots.push_back(value);
+      const auto declared = src_.slot_types.find(var);
+      m_.slot_types.push_back(declared != src_.slot_types.end() ? declared->second
+                                                                : SlotType::kCounter);
     }
 
     // Transition metadata rides along index-aligned with src_.transitions;

@@ -143,6 +143,10 @@ struct CompiledMachine {
   // Variable interning: slot == index into var_names / initial_slots.
   std::vector<std::string> var_names;
   std::vector<double> initial_slots;
+  // Declared type per slot, index-aligned with var_names; the hot-swap
+  // migration planner (src/swap) refuses to carry a value across slots of
+  // different types (ART015).
+  std::vector<SlotType> slot_types;
 
   // All handler programs, concatenated. Each bucket points at one program
   // that inlines every candidate transition in declaration order:

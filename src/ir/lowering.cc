@@ -27,6 +27,7 @@ StateMachine LowerMaxTries(const PropertyAst& p, const std::string& label, TaskI
   m.states = {kNotStarted, kStarted};
   m.initial = kNotStarted;
   m.variables["i"] = 0.0;
+  m.slot_types["i"] = SlotType::kCounter;
   const double n = static_cast<double>(p.count);
 
   m.transitions.push_back(Transition{.from = kNotStarted,
@@ -62,6 +63,7 @@ StateMachine LowerMaxDuration(const PropertyAst& p, const std::string& label, Ta
   m.states = {kNotStarted, kStarted};
   m.initial = kNotStarted;
   m.variables["start"] = 0.0;
+  m.slot_types["start"] = SlotType::kTime;
   const double d = static_cast<double>(p.duration);
   const ExprPtr elapsed = Bin(BinOp::kSub, Ts(), Var("start"));
 
@@ -95,6 +97,7 @@ StateMachine LowerCollect(const PropertyAst& p, const std::string& label, TaskId
   m.states = {kS0};
   m.initial = kS0;
   m.variables["i"] = 0.0;
+  m.slot_types["i"] = SlotType::kCounter;
   const double n = static_cast<double>(p.count);
 
   m.transitions.push_back(Transition{.from = kS0,
@@ -130,11 +133,13 @@ StateMachine LowerMitd(const PropertyAst& p, const std::string& label, TaskId a,
   m.states = {kWaitEndB, kWaitStartA};
   m.initial = kWaitEndB;
   m.variables["endB"] = 0.0;
+  m.slot_types["endB"] = SlotType::kTime;
   // The attempt counter only exists when maxAttempt is in play; otherwise
   // it would be write-only state (8 wasted FRAM bytes per instance, flagged
   // by the ART006 liveness pass).
   if (p.max_attempt > 0) {
     m.variables["att"] = 0.0;
+    m.slot_types["att"] = SlotType::kCounter;
   }
   const double d = static_cast<double>(p.duration);
   const ExprPtr delay = Bin(BinOp::kSub, Ts(), Var("endB"));
@@ -208,7 +213,9 @@ StateMachine LowerPeriod(const PropertyAst& p, const std::string& label, TaskId 
   m.states = {kS0};
   m.initial = kS0;
   m.variables["last"] = 0.0;
+  m.slot_types["last"] = SlotType::kTime;
   m.variables["started"] = 0.0;
+  m.slot_types["started"] = SlotType::kFlag;
   const double bound = static_cast<double>(p.duration + p.jitter);
   const ExprPtr gap = Bin(BinOp::kSub, Ts(), Var("last"));
   const ExprPtr fresh = Bin(BinOp::kEq, Var("started"), Const(0.0));

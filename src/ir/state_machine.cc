@@ -17,6 +17,30 @@ const char* TriggerKindName(TriggerKind kind) {
   return "?";
 }
 
+const char* SlotTypeName(SlotType type) {
+  switch (type) {
+    case SlotType::kFlag:
+      return "flag";
+    case SlotType::kCounter:
+      return "counter";
+    case SlotType::kTime:
+      return "time";
+  }
+  return "?";
+}
+
+std::size_t SlotTypeWidth(SlotType type) {
+  switch (type) {
+    case SlotType::kFlag:
+      return 1;
+    case SlotType::kCounter:
+      return 4;
+    case SlotType::kTime:
+      return 8;
+  }
+  return 8;
+}
+
 bool StateMachine::HasState(const std::string& state) const {
   return std::find(states.begin(), states.end(), state) != states.end();
 }

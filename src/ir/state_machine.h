@@ -5,6 +5,7 @@
 #ifndef SRC_IR_STATE_MACHINE_H_
 #define SRC_IR_STATE_MACHINE_H_
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
@@ -19,6 +20,18 @@ namespace artemis {
 enum class TriggerKind : std::uint8_t { kStartTask, kEndTask, kAnyEvent };
 
 const char* TriggerKindName(TriggerKind kind);
+
+// Declared width/shape of a persistent monitor slot, used by the hot-swap
+// migration planner (src/swap) to reject carrying a value across a type
+// change (ART015). Widths follow what codegen_c emits for each role.
+enum class SlotType : std::uint8_t {
+  kFlag,     // 0/1 marker (e.g. period's "started"), 1 byte on device
+  kCounter,  // small monotonic count (maxTries "i", MITD "att"), 4 bytes
+  kTime,     // absolute timestamp in sim ticks ("start", "endB"), 8 bytes
+};
+
+const char* SlotTypeName(SlotType type);
+std::size_t SlotTypeWidth(SlotType type);
 
 struct Transition {
   std::string from;
@@ -38,6 +51,9 @@ struct StateMachine {
   std::vector<std::string> states;
   std::string initial;
   VarEnv variables;  // name -> initial value
+  // name -> declared slot type; variables absent from the map default to
+  // kCounter (the conservative legacy width for hand-built machines).
+  std::map<std::string, SlotType> slot_types;
   std::vector<Transition> transitions;
 
   // Position of the originating property in the spec source (0/0 for

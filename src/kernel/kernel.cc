@@ -157,6 +157,19 @@ ExecStatus IntermittentKernel::Step() {
   if (app_complete_) {
     return ExecStatus::kOk;
   }
+  // Task-boundary quiescence point: the next task is READY and no monitor
+  // event is pending (mid-attempt reboots also land here — an aborted body
+  // resumes in kReady with its event retired). A pending hot-swap stages
+  // and commits here, between transitions; a power failure inside the hook
+  // aborts this step like any other charged work and the hook re-runs at
+  // the next boundary.
+  if (options_.swap_hook != nullptr && !event_pending_ &&
+      cur_status_ == TaskStatus::kReady) {
+    const ExecStatus swap = options_.swap_hook->AtQuiescence(*mcu_);
+    if (swap != ExecStatus::kOk) {
+      return swap;
+    }
+  }
   if (unmonitored_) {
     return RunUnmonitored();
   }

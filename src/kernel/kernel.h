@@ -35,6 +35,19 @@
 
 namespace artemis {
 
+// Hook invoked at task-boundary quiescence points: the kernel is about to
+// start a READY task and no monitor event is pending, so the checker's FRAM
+// state sits at a transition boundary. The hot-swap controller
+// (src/swap/hotswap.h) implements this to apply over-the-air monitor
+// replacements; returning kPowerFailure/kStarved aborts the step exactly
+// like any other charged work (the hook is re-invoked at the next
+// quiescence point after the reboot).
+class SwapHook {
+ public:
+  virtual ~SwapHook() = default;
+  virtual ExecStatus AtQuiescence(Mcu& mcu) = 0;
+};
+
 struct KernelOptions {
   std::uint64_t seed = 1;
   // Give up (report non-termination) when the simulated wall clock passes
@@ -60,6 +73,11 @@ struct KernelOptions {
   // power failure; the recorder must already be attached to the MCU
   // (Mcu::AttachFlightRecorder). nullptr = recording off.
   flight::FlightRecorder* flight = nullptr;
+  // Monitor hot-swap delivery (src/swap): when set, the kernel calls the
+  // hook at every task-boundary quiescence point (READY task, no pending
+  // event) before building the StartTask event, so an over-the-air monitor
+  // replacement can stage + commit between transitions. See docs/hotswap.md.
+  SwapHook* swap_hook = nullptr;
 };
 
 // Per-task execution profile (the Section 5.1 measurement that identifies
@@ -91,6 +109,11 @@ class IntermittentKernel {
   // Runs the application from its very first boot to completion (or
   // starvation / non-termination).
   KernelRunResult Run();
+
+  // Late wiring for the hot-swap hook: the controller needs the MonitorSet,
+  // which only exists after the runtime is built, so the hook cannot always
+  // be threaded through KernelOptions at construction time.
+  void set_swap_hook(SwapHook* hook) { options_.swap_hook = hook; }
 
   const ExecutionTrace& trace() const { return trace_; }
   const std::vector<TaskProfile>& profiles() const { return profiles_; }

@@ -48,6 +48,17 @@ class CompiledMonitor final : public Monitor {
   double VarValue(const std::string& name) const;
   const CompiledMachine& machine() const { return *machine_; }
 
+  // Hot-swap entry points (src/swap/hotswap.cc). The controller captures
+  // the FRAM-resident execution state of the retiring image and installs
+  // the migrated values into the freshly-built replacement monitor.
+  std::uint16_t current_id() const { return current_; }
+  const std::vector<double>& slots() const { return slots_; }
+  void InstallMigratedState(std::uint16_t state, std::vector<double> slots) {
+    current_ = state;
+    slots_ = std::move(slots);
+    slots_.resize(machine_->initial_slots.size(), 0.0);
+  }
+
  private:
   std::shared_ptr<const CompiledMachine> machine_;
   // FRAM-resident execution state: dense state id + variable slots.

@@ -192,6 +192,24 @@ void BatchCompiledMonitor::HardResetLane(std::uint32_t lane) {
   std::copy(machine_->initial_slots.begin(), machine_->initial_slots.end(), lane_slots(lane));
 }
 
+void BatchCompiledMonitor::ApplyMigrationFrom(const BatchCompiledMonitor& old,
+                                              const std::vector<std::uint16_t>& state_map,
+                                              const std::vector<int>& slot_sources) {
+  const std::size_t new_slots = machine_->initial_slots.size();
+  for (std::uint32_t lane = 0; lane < lanes_ && lane < old.lanes_; ++lane) {
+    const std::uint16_t old_state = old.current_[lane];
+    current_[lane] = old_state < state_map.size() ? state_map[old_state] : machine_->initial;
+    const double* from = old.lane_slots(lane);
+    double* to = lane_slots(lane);
+    for (std::size_t s = 0; s < new_slots; ++s) {
+      const int source = s < slot_sources.size() ? slot_sources[s] : -1;
+      to[s] = source >= 0 && static_cast<std::size_t>(source) < old.machine_->initial_slots.size()
+                  ? from[source]
+                  : machine_->initial_slots[s];
+    }
+  }
+}
+
 void BatchCompiledMonitor::OnPathRestartLane(std::uint32_t lane, PathId path) {
   if (!machine_->reset_on_path_restart) {
     return;

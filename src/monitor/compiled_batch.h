@@ -102,6 +102,16 @@ class BatchCompiledMonitor {
   void HardResetLane(std::uint32_t lane);
   void OnPathRestartLane(std::uint32_t lane, PathId path);
 
+  // Hot-swap entry point (src/swap): bulk-migrates every lane's FRAM state
+  // from the retiring image's batch VM of the SAME property. Per lane:
+  // the control state becomes state_map[old state id] (the migration
+  // plan's old->new map, defaulting unmapped states to this machine's
+  // initial), and slot s takes the old lane's slot_sources[s] when >= 0 or
+  // resets to initial_slots[s]. `old` must have the same lane count.
+  void ApplyMigrationFrom(const BatchCompiledMonitor& old,
+                          const std::vector<std::uint16_t>& state_map,
+                          const std::vector<int>& slot_sources);
+
   const FailRecord& fail_record(std::uint32_t fail_index) const {
     return machine_->fail_pool[fail_index];
   }

@@ -44,6 +44,16 @@ void MonitorSet::Add(std::unique_ptr<Monitor> monitor) {
   monitors_.push_back(std::move(monitor));
 }
 
+void MonitorSet::ReplaceMonitors(std::vector<std::unique_ptr<Monitor>> monitors) {
+  // Only called at quiescence (no event mid-arbitration), so pending_ is
+  // empty and the continuation is retired; the verdict cache and counters
+  // survive so pre-swap events replay idempotently. The NVM arena keeps the
+  // original registration: the swap stages the new image into the same
+  // monitor region (docs/hotswap.md sizes it as max(old, new)).
+  monitors_ = std::move(monitors);
+  pending_.clear();
+}
+
 std::size_t MonitorSet::FramBytes() const {
   // Per-monitor state plus the set's own continuation + verdict cache.
   std::size_t bytes = sizeof(done_seq_) + sizeof(MonitorVerdict) + 16 /* continuation */;

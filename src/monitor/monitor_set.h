@@ -110,6 +110,19 @@ class MonitorSet : public PropertyChecker {
   static std::size_t InlinedTextBytes(std::size_t separate_text_bytes,
                                       std::size_t call_sites);
 
+  // ---- hot-swap entry points (src/swap/hotswap.cc) ----------------------
+  // True when no event is mid-arbitration: the continuation cursor is
+  // retired and every monitor's FRAM state is at a transition boundary.
+  // The swap controller only replaces images at quiescence.
+  bool quiescent() const { return !continuation_.InProgress(); }
+  // Atomically (host-side; durability is the controller's job) replaces the
+  // monitor collection with the new image's freshly-built, state-migrated
+  // monitors. The seq-keyed verdict cache and event/violation counters are
+  // kept: the event stream continues across the swap, so a re-delivered
+  // pre-swap event must still replay its cached verdict instead of
+  // double-stepping the new machines.
+  void ReplaceMonitors(std::vector<std::unique_ptr<Monitor>> monitors);
+
  private:
   ArbitrationPolicy policy_;
   MonitorPlacement placement_ = MonitorPlacement::kSeparate;

@@ -54,6 +54,13 @@ struct CostModel {
   // Flight recorder: a control-word update (head advance per evicted
   // record).
   std::uint32_t flight_control_write_cycles = 6;
+  // Hot-swap (src/swap): fixed bookkeeping per swap attempt — plan lookup,
+  // quiescence check, and the single image-header epoch flip that commits
+  // the replacement (docs/hotswap.md).
+  std::uint32_t swap_control_cycles = 120;
+  // Hot-swap: staging one byte of migrated monitor state into the
+  // replacement image's FRAM region (same write path as the flight ring).
+  double swap_nvm_write_cycles_per_byte = 4.0;
 
   // --- .text size proxy (bytes) -----------------------------------------
   std::size_t text_kernel_base = 980;          // task executor shared by both systems

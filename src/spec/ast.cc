@@ -119,6 +119,23 @@ std::string SpecAst::Pretty() const {
     }
     out << "}\n\n";
   }
+  if (!migration.empty()) {
+    out << "migrate {\n";
+    for (const MigrationRuleAst& rule : migration.rules) {
+      switch (rule.kind) {
+        case MigrationRuleAst::Kind::kMachine:
+          out << "  machine " << rule.from << " -> " << rule.to << ";\n";
+          break;
+        case MigrationRuleAst::Kind::kState:
+          out << "  state " << rule.machine << ": " << rule.from << " -> " << rule.to << ";\n";
+          break;
+        case MigrationRuleAst::Kind::kSlot:
+          out << "  slot " << rule.machine << ": " << rule.from << " -> " << rule.to << ";\n";
+          break;
+      }
+    }
+    out << "}\n\n";
+  }
   return out.str();
 }
 

@@ -68,8 +68,40 @@ struct TaskBlockAst {
   int column = 0;
 };
 
+// One rule inside a top-level `migrate { ... }` block (docs/hotswap.md).
+// The block lives in the NEW spec of a hot-swap pair and overrides the
+// default name-based mapping from the currently installed (old) image:
+//   migrate {
+//     machine oldName -> newName;          // carry a renamed machine over
+//     state machineName: oldState -> newState;
+//     slot  machineName: oldSlot  -> newSlot;
+//   }
+// `machine`/`state`/`slot` names refer to lowered FSM names (artemisc dot
+// shows them); mapping a state to `initial` is an explicit conservative
+// reset that silences the unmapped-live-state warning (ART015).
+struct MigrationRuleAst {
+  enum class Kind : std::uint8_t { kMachine, kState, kSlot };
+  Kind kind = Kind::kMachine;
+  std::string machine;  // empty for kMachine rules (from/to are machines)
+  std::string from;
+  std::string to;
+  int line = 0;
+  int column = 0;
+
+  SourceSpan Span() const { return SourceSpan{line, column}; }
+};
+
+struct MigrationAst {
+  std::vector<MigrationRuleAst> rules;
+
+  bool empty() const { return rules.empty(); }
+};
+
 struct SpecAst {
   std::vector<TaskBlockAst> blocks;
+  // Hot-swap migration overrides; empty for specs that never replace a
+  // live image (the common case). Ignored outside the swap planner.
+  MigrationAst migration;
 
   std::size_t PropertyCount() const;
   // Round-trips the AST back to Figure 5 style surface syntax.

@@ -65,12 +65,75 @@ Status SpecParser::ErrorAt(const Token& token, const std::string& message) const
 StatusOr<SpecAst> SpecParser::ParseSpec() {
   SpecAst spec;
   while (!Check(TokenKind::kEndOfInput)) {
-    const Status status = ParseBlock(&spec);
+    // `migrate` is reserved at the top level: it opens the hot-swap
+    // migration-override block instead of a task block (docs/hotswap.md).
+    const Status status = Check(TokenKind::kIdentifier) && Peek().text == "migrate"
+                              ? ParseMigrate(&spec)
+                              : ParseBlock(&spec);
     if (!status.ok()) {
       return status;
     }
   }
   return spec;
+}
+
+Status SpecParser::ParseMigrate(SpecAst* spec) {
+  const Token keyword = Advance();  // 'migrate'
+  if (!spec->migration.empty()) {
+    return ErrorAt(keyword, "duplicate migrate block (merge the rules into one block)");
+  }
+  if (Status status = Expect(TokenKind::kLBrace, "to open the migrate block"); !status.ok()) {
+    return status;
+  }
+  while (!Check(TokenKind::kRBrace) && !Check(TokenKind::kEndOfInput)) {
+    if (!Check(TokenKind::kIdentifier)) {
+      return ErrorAt(Peek(), "expected a migrate rule (machine|state|slot), found " +
+                                 Peek().Describe());
+    }
+    const Token head = Advance();
+    MigrationRuleAst rule;
+    rule.line = head.line;
+    rule.column = head.column;
+    if (head.text == "machine") {
+      rule.kind = MigrationRuleAst::Kind::kMachine;
+    } else if (head.text == "state") {
+      rule.kind = MigrationRuleAst::Kind::kState;
+    } else if (head.text == "slot") {
+      rule.kind = MigrationRuleAst::Kind::kSlot;
+    } else {
+      return ErrorAt(head, "unknown migrate rule '" + head.text + "' (machine|state|slot)");
+    }
+    if (rule.kind != MigrationRuleAst::Kind::kMachine) {
+      if (!Check(TokenKind::kIdentifier)) {
+        return ErrorAt(Peek(), "expected a machine name, found " + Peek().Describe());
+      }
+      rule.machine = Advance().text;
+      if (Status status = Expect(TokenKind::kColon, "after the machine name"); !status.ok()) {
+        return status;
+      }
+    }
+    if (!Check(TokenKind::kIdentifier)) {
+      return ErrorAt(Peek(), "expected the old name, found " + Peek().Describe());
+    }
+    rule.from = Advance().text;
+    if (Status status = Expect(TokenKind::kArrow, "between the old and new names");
+        !status.ok()) {
+      return status;
+    }
+    if (!Check(TokenKind::kIdentifier)) {
+      return ErrorAt(Peek(), "expected the new name, found " + Peek().Describe());
+    }
+    rule.to = Advance().text;
+    if (Status status = Expect(TokenKind::kSemicolon, "to end the migrate rule");
+        !status.ok()) {
+      return status;
+    }
+    spec->migration.rules.push_back(std::move(rule));
+  }
+  if (Status status = Expect(TokenKind::kRBrace, "to close the migrate block"); !status.ok()) {
+    return status;
+  }
+  return Status::Ok();
 }
 
 Status SpecParser::ParseBlock(SpecAst* spec) {

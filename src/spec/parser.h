@@ -1,8 +1,14 @@
 // Recursive-descent parser for the ARTEMIS property specification language.
 //
-// Grammar (Figure 5 surface syntax):
-//   spec     := block*
+// Grammar (Figure 5 surface syntax, plus the hot-swap migrate block from
+// docs/hotswap.md):
+//   spec     := (block | migrate)*
 //   block    := IDENT ':'? '{' property* '}'
+//   migrate  := 'migrate' '{' rule* '}'     // 'migrate' is reserved at the
+//                                            // top level (not as task name)
+//   rule     := 'machine' IDENT '->' IDENT ';'
+//             | 'state' IDENT ':' IDENT '->' IDENT ';'
+//             | 'slot'  IDENT ':' IDENT '->' IDENT ';'
 //   property := key ':' value modifier* ';'
 //   key      := maxTries | maxDuration | MITD | collect | dpData | period
 //             | minEnergy
@@ -38,6 +44,7 @@ class SpecParser {
 
   StatusOr<SpecAst> ParseSpec();
   Status ParseBlock(SpecAst* spec);
+  Status ParseMigrate(SpecAst* spec);
   Status ParseProperty(TaskBlockAst* block);
   Status ParseModifiers(PropertyAst* property);
 

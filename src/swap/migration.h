@@ -1,0 +1,74 @@
+// State-migration planning between two monitor images (docs/hotswap.md).
+//
+// When a new image replaces a live one, the persistent FSM state of every
+// surviving property must be carried over or deliberately reset. The
+// planner computes, per NEW compiled machine, a dense mapping from the OLD
+// image's state ids and variable slots:
+//
+//   * machines pair by IR name, overridable with `migrate { machine A->B }`
+//     in the new spec;
+//   * states map by name within a paired machine (`state M: Old -> New`
+//     overrides); old states with no image in the new machine fall back to
+//     the new initial state — a conservative reset;
+//   * slots map by name AND declared SlotType (`slot M: a -> b` overrides);
+//     a name match across different types is NOT carried (the on-device
+//     widths differ — see SlotTypeWidth), it resets with a warning, and an
+//     EXPLICIT rule across types is an error.
+//
+// Everything surprising is surfaced as an ART015 diagnostic before the
+// device ever sees the image:
+//   errors   — rule names that resolve to nothing, explicit cross-type slot
+//              carries, duplicate rules for one source;
+//   warnings — a reachable non-initial (live) old state silently reset, a
+//              dropped slot/machine, an implicit type-mismatch reset.
+// Mapping a state to the literal name `initial` is an explicit reset and
+// silences the live-state warning.
+#ifndef SRC_SWAP_MIGRATION_H_
+#define SRC_SWAP_MIGRATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/analysis/diagnostics.h"
+#include "src/kernel/app_graph.h"
+#include "src/swap/image.h"
+
+namespace artemis {
+
+// Migration recipe for one NEW machine.
+struct MachineMigration {
+  // Index of the paired machine in the old image; -1 = no counterpart, the
+  // new machine starts fresh from its initial state.
+  int old_index = -1;
+  // Old state id -> new state id (length = old machine's state count;
+  // unmapped entries already point at the new machine's initial id).
+  std::vector<std::uint16_t> state_map;
+  // New slot index -> old slot index, or -1 to reset to the new machine's
+  // initial value (length = new machine's slot count).
+  std::vector<int> slot_sources;
+};
+
+struct MigrationPlan {
+  // Parallel to the new image's artifact->compiled vector.
+  std::vector<MachineMigration> machines;
+
+  // NVM bytes the swap controller stages per attempt: one migrated state id
+  // (2 bytes) plus one 8-byte slot value per new slot, for every machine.
+  // Fresh machines stage their initial state too — the whole new monitor
+  // region is written before the commit point.
+  std::size_t StagedBytes() const;
+};
+
+// Builds the plan for replacing `old_image` with `new_image`, reading the
+// new spec's `migrate { ... }` block for overrides and reporting every
+// mismatch as an ART015 diagnostic on `engine`. Both images must be at the
+// kCompiled stage. The returned plan is safe to apply iff the engine has no
+// errors; warning-level findings already have their conservative resets
+// baked into the plan.
+MigrationPlan PlanMigration(const MonitorImage& old_image, const MonitorImage& new_image,
+                            const AppGraph& graph, DiagnosticEngine* engine);
+
+}  // namespace artemis
+
+#endif  // SRC_SWAP_MIGRATION_H_

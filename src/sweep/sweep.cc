@@ -15,6 +15,8 @@
 #include "src/flight/recorder.h"
 #include "src/obs/bus.h"
 #include "src/sim/timekeeper.h"
+#include "src/swap/hotswap.h"
+#include "src/swap/image.h"
 #include "src/sweep/grid_json.h"
 
 namespace artemis::sweep {
@@ -257,6 +259,22 @@ StatusOr<std::vector<SweepPoint>> ExpandGrid(const SweepSpec& spec) {
       return Status::Invalid("sweep: every spec source needs a label");
     }
   }
+  if (!spec.spec2.text.empty()) {
+    // The swap axis needs a versioned on-device image: the artemis system
+    // with the compiled backend is the only pairing that has one.
+    for (const std::string& system : spec.systems) {
+      if (system != "artemis") {
+        return Status::Invalid("sweep: spec2 (hot swap) requires system 'artemis', got '" +
+                               system + "'");
+      }
+    }
+    for (const std::string& name : spec.backends) {
+      if (name != "compiled") {
+        return Status::Invalid("sweep: spec2 (hot swap) requires backend 'compiled', got '" +
+                               name + "'");
+      }
+    }
+  }
 
   std::vector<SweepPoint> points;
   for (const SpecSource& source : spec.specs) {
@@ -376,11 +394,44 @@ SweepRow RunSweepPoint(const SweepPoint& point, const SweepSpec& spec,
       row.error = runtime.status().ToString();
       return row;
     }
+    // Hot-swap axis: queue spec2 as the epoch-2 replacement image before the
+    // first boot; the kernel delivers it at quiescence (docs/hotswap.md).
+    std::unique_ptr<HotSwapController> swap;
+    if (!spec.spec2.text.empty()) {
+      StatusOr<SharedSpecArtifactPtr> next_artifact =
+          cache.Get(point.app, spec.spec2.text, graph, SpecArtifactStage::kCompiled);
+      if (!next_artifact.ok()) {
+        row.error = next_artifact.status().ToString();
+        return row;
+      }
+      MonitorImage installed;
+      installed.header = {SpecHash(point.spec_text), 1};
+      installed.artifact = artifact.value();
+      MonitorImage next;
+      next.header = {SpecHash(spec.spec2.text), 2};
+      next.artifact = next_artifact.value();
+      swap = std::make_unique<HotSwapController>(&runtime.value()->monitors(),
+                                                 std::move(installed), &graph);
+      swap->set_flight(recorder.get());
+      if (const Status queued = swap->RequestSwap(std::move(next), spec.swap_at);
+          !queued.ok()) {
+        row.error = queued.ToString();
+        return row;
+      }
+      runtime.value()->kernel().set_swap_hook(swap.get());
+    }
     row.result = runtime.value()->Run();
     row.monitor_events = runtime.value()->monitors().events_processed();
     row.violations = runtime.value()->monitors().violations_reported();
     artifacts.artemis = runtime.value().get();
     row.ok = true;
+    if (swap != nullptr) {
+      const SwapStats& ss = swap->stats();
+      row.metrics.emplace_back("swap_applied", static_cast<double>(ss.swaps_applied));
+      row.metrics.emplace_back("swap_attempts", static_cast<double>(ss.attempts_started));
+      row.metrics.emplace_back("swap_staged_bytes", static_cast<double>(ss.bytes_staged));
+      row.metrics.emplace_back("swap_epoch", static_cast<double>(swap->installed().epoch));
+    }
     if (spec.collect_stats) {
       row.stats = aggregator;
     }
@@ -484,6 +535,41 @@ StatusOr<SweepOutcome> RunSweep(const SweepSpec& spec, int jobs, CompiledSpecCac
                          spec.budgets, spec.charges, spec.flight, spec.flight_bytes);
       if (!gate.ok()) {
         return gate;
+      }
+    }
+    // Swap gate: the replacement spec must analyze clean on its own, and
+    // every (running spec -> spec2) migration must pass ART015/ART016.
+    if (!spec.spec2.text.empty()) {
+      const Status gate =
+          PreAnalyzeSpec("sweep", spec.spec2.label, spec.spec2.text, graph,
+                         spec.budgets, spec.charges, spec.flight, spec.flight_bytes);
+      if (!gate.ok()) {
+        return gate;
+      }
+      AnalysisOptions options;
+      if (!spec.budgets.empty()) {
+        options.budgets = spec.budgets;
+      }
+      if (!spec.charges.empty()) {
+        options.charges = spec.charges;
+      }
+      options.flight_enabled = spec.flight != "off";
+      options.flight_bytes = spec.flight_bytes;
+      for (const std::string& text : seen) {
+        StatusOr<MonitorImage> old_image = BuildMonitorImage(text, graph, 1);
+        StatusOr<MonitorImage> new_image = BuildMonitorImage(spec.spec2.text, graph, 2);
+        if (!old_image.ok() || !new_image.ok()) {
+          continue;  // Unbuildable specs become per-point error rows.
+        }
+        const DiagnosticEngine engine =
+            AnalyzeSwap(old_image.value(), new_image.value(), graph, options);
+        if (engine.HasErrors()) {
+          return Status::Invalid(
+              "sweep: hot swap to spec '" + spec.spec2.label + "' found " +
+              std::to_string(engine.ErrorCount()) +
+              " error(s); fix the migrate block or pass --no-analyze\n" +
+              engine.RenderText(spec.spec2.label));
+        }
       }
     }
   }
@@ -833,6 +919,57 @@ StatusOr<SweepSpec> ParseGridJson(
         return TypeError(key, "a positive integer (ring capacity in bytes)");
       }
       spec.flight_bytes = static_cast<std::size_t>(value->number());
+    } else if (key == "spec2") {
+      if (!value->is_object()) {
+        return TypeError(key, "a {label?, text|file} object (the replacement spec)");
+      }
+      SpecSource source;
+      source.label = "v2";
+      const JsonValuePtr label = value->Find("label");
+      if (label != nullptr) {
+        if (!label->is_string() || label->string().empty()) {
+          return Status::Invalid("sweep grid: \"spec2\" label must be a non-empty string");
+        }
+        source.label = label->string();
+      }
+      const JsonValuePtr inline_text = value->Find("text");
+      const JsonValuePtr file = value->Find("file");
+      if ((inline_text == nullptr) == (file == nullptr)) {
+        return Status::Invalid(
+            "sweep grid: \"spec2\" needs exactly one of \"text\" or \"file\"");
+      }
+      if (inline_text != nullptr) {
+        if (!inline_text->is_string()) {
+          return TypeError("text", "a string");
+        }
+        source.text = inline_text->string();
+      } else {
+        if (!file->is_string()) {
+          return TypeError("file", "a string");
+        }
+        if (read_file == nullptr) {
+          return Status::Invalid(
+              "sweep grid: \"spec2\" references a file but file loading is disabled");
+        }
+        StatusOr<std::string> loaded = read_file(file->string());
+        if (!loaded.ok()) {
+          return loaded.status();
+        }
+        source.text = std::move(loaded).value();
+      }
+      if (source.text.empty()) {
+        return Status::Invalid("sweep grid: \"spec2\" spec text must be non-empty");
+      }
+      spec.spec2 = std::move(source);
+    } else if (key == "swap_at") {
+      if (!value->is_string()) {
+        return TypeError(key, "a duration string like \"10min\"");
+      }
+      const std::optional<SimDuration> at = ParseDuration(value->string());
+      if (!at.has_value()) {
+        return TypeError(key, "a duration string like \"10min\"");
+      }
+      spec.swap_at = *at;
     } else if (key == "analyze") {
       if (!value->is_bool()) {
         return TypeError(key, "a boolean");

@@ -83,6 +83,16 @@ struct SweepSpec {
   // Footprint numbers land in the SweepRow flight_* fields.
   std::string flight = "off";
   std::size_t flight_bytes = 1024;
+  // Hot-swap axis (docs/hotswap.md): when spec2.text is non-empty, every
+  // point additionally queues spec2 as a replacement monitor image (epoch 2
+  // over the running spec's epoch 1) to be hot-swapped at the first
+  // task-boundary quiescence point at or after `swap_at` device time. Swap
+  // points require system "artemis" and backend "compiled" (the only
+  // backend with a versioned on-device image); the grid is rejected
+  // otherwise. Swap bookkeeping lands in SweepRow::metrics under
+  // swap_applied / swap_attempts / swap_staged_bytes.
+  SpecSource spec2 = {"v2", ""};
+  SimDuration swap_at = 0;
   // Fail-fast static-analysis gate: before any point runs, every unique
   // spec in the grid is pushed through the whole-system analyzer
   // (src/analysis) against this grid's budget/charge/flight axes; analyzer

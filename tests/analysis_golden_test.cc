@@ -19,6 +19,8 @@
 #include "src/spec/mayfly_frontend.h"
 #include "src/spec/parser.h"
 #include "src/spec/validator.h"
+#include "src/swap/hotswap.h"
+#include "src/swap/image.h"
 #include "src/sweep/sweep.h"
 
 namespace artemis {
@@ -130,6 +132,54 @@ TEST(AnalysisGoldenTest, TextAndJsonOutputsMatchGoldens) {
     const DiagnosticEngine engine = AnalyzeMachines(machines.value(), graph, options);
     EXPECT_EQ(engine.HasErrors(), c.expect_errors);
     CheckGolden(c.name, "txt", engine.RenderText(c.spec));
+    CheckGolden(c.name, "json", engine.RenderJson());
+  }
+}
+
+// Hot-swap analysis goldens (ART015/ART016): each case feeds an installed
+// spec + replacement spec pair through AnalyzeSwap, the same two-image gate
+// `artemisc check --spec2` and `artemisc swap` run before delivering an
+// image (docs/hotswap.md).
+struct SwapGoldenCase {
+  const char* name;   // golden file stem under tests/golden/analysis/
+  const char* spec1;  // installed image, relative to the repo root
+  const char* spec2;  // replacement image, relative to the repo root
+  bool expect_errors = false;
+  double budget_uj = 0.0;  // single-budget axis override (ART016)
+};
+
+constexpr SwapGoldenCase kSwapCases[] = {
+    // Same spec on both sides: the identity migration plans clean.
+    {"swap_clean", "examples/specs/health.prop", "examples/specs/health.prop", false},
+    {"swap_cross_type", "examples/specs/health.prop", "examples/specs/bad/swap_cross_type.prop",
+     true},
+    {"swap_unknown_rule", "examples/specs/health.prop",
+     "examples/specs/bad/swap_unknown_rule.prop", true},
+    // Valid pair, hostile deployment: 1 uJ cannot cover boot restore + the
+    // 80 staged bytes + the commit write, so the swap can never land.
+    {"swap_infeasible_window", "examples/specs/health.prop", "examples/specs/health.prop", true,
+     1.0},
+};
+
+TEST(AnalysisGoldenTest, SwapTextAndJsonOutputsMatchGoldens) {
+  const AppGraph graph = BuildHealthApp().graph;
+  for (const SwapGoldenCase& c : kSwapCases) {
+    SCOPED_TRACE(c.name);
+    const auto old_image = BuildMonitorImage(
+        ReadFileOrDie(std::string(ARTEMIS_SOURCE_DIR) + "/" + c.spec1), graph, /*epoch=*/1);
+    const auto new_image = BuildMonitorImage(
+        ReadFileOrDie(std::string(ARTEMIS_SOURCE_DIR) + "/" + c.spec2), graph, /*epoch=*/2);
+    ASSERT_TRUE(old_image.ok()) << old_image.status().ToString();
+    ASSERT_TRUE(new_image.ok()) << new_image.status().ToString();
+
+    AnalysisOptions options;
+    if (c.budget_uj > 0.0) {
+      options.budgets = {c.budget_uj};
+    }
+    const DiagnosticEngine engine =
+        AnalyzeSwap(old_image.value(), new_image.value(), graph, options);
+    EXPECT_EQ(engine.HasErrors(), c.expect_errors);
+    CheckGolden(c.name, "txt", engine.RenderText(c.spec2));
     CheckGolden(c.name, "json", engine.RenderJson());
   }
 }

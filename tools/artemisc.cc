@@ -30,8 +30,12 @@
 //   artemisc forensics <dump|timeline|audit|detect> [--app ...] [--spec <file>]
 //                     [--schedule 6min|continuous] [--budget <uJ>]
 //                     [--backend ...] [--level verdicts|full]
-//                     [--flight-bytes N] [--gap <duration>]
-//                     [--min-attempts N] [--out <file>]
+//                     [--flight-bytes N] [--spec2 <file>] [--swap-at <duration>]
+//                     [--gap <duration>] [--min-attempts N] [--out <file>]
+//   artemisc swap     <spec-v1> <spec-v2> [--app ...] [--swap-at <duration>]
+//                     [--schedule 6min|continuous] [--budget <uJ>]
+//                     [--flight off|verdicts|full] [--flight-bytes N]
+//                     [--no-analyze] [--json] [--Werror]
 //
 // `check` runs parse -> validate -> consistency analysis and, with
 // --analyze, the FSM IR static analyzer (src/analysis); `codegen`/`dot` run
@@ -55,7 +59,15 @@
 // boot epochs into a human-readable reconstruction, `audit` cross-validates
 // the flight log against the omniscient obs-bus capture of the same run,
 // and `detect` scans for failure signatures (non-termination, restart
-// without progress, silence gaps).
+// without progress, silence gaps); with --spec2 the instrumented run also
+// hot-swaps to the replacement image at --swap-at, so the recovered ring
+// spans a swap epoch (the timeline stitches the cross-version history
+// through the sealed swap record). `swap` runs the app with <spec-v1>
+// installed as the epoch-1 monitor image, delivers <spec-v2> over the air as
+// epoch 2 (after the ART015/ART016 swap analyzer gate), and hot-swaps it at
+// a task-boundary quiescence point via the crash-consistent two-phase
+// protocol (src/swap, docs/hotswap.md); `check --spec2 <file>` runs the same
+// static gate without simulating.
 //
 // Exit codes: 0 = clean, 1 = findings / failures, 2 = usage or I/O error.
 #include <algorithm>
@@ -92,6 +104,7 @@
 #include "src/spec/mayfly_frontend.h"
 #include "src/spec/parser.h"
 #include "src/spec/validator.h"
+#include "src/swap/hotswap.h"
 #include "src/fleet/fleet.h"
 #include "src/sweep/sweep.h"
 
@@ -114,7 +127,7 @@ int Usage() {
                "           [--policy severity|first-wins|last-wins]\n"
                "           [--charges continuous,1min,...] [--budgets <uJ>,...]\n"
                "           [--no-immortal] [--flight off|verdicts|full]\n"
-               "           [--flight-bytes N]\n"
+               "           [--flight-bytes N] [--spec2 <replacement-spec>]\n"
                "  pretty   <spec>\n"
                "  codegen  <spec> [--app ...] [--no-immortal] [--no-analyze]\n"
                "  dot      <spec> [--app ...] [--no-analyze]\n"
@@ -131,6 +144,7 @@ int Usage() {
                "           [--backends ...] [--timekeepers ...] [--seeds ...]\n"
                "           [--max-wall <duration>] [--stats] [--jobs N]\n"
                "           [--flight off|verdicts|full] [--flight-bytes N]\n"
+               "           [--spec2 <file>] [--swap-at <duration>]\n"
                "           [--no-analyze] [--format json|csv|table] [--out <file>]\n"
                "  fleet    [--devices N] [--shards J] [--minutes M | --iterations K]\n"
                "           [--app ...] [--spec <file>] [--monitor scalar|batch]\n"
@@ -140,7 +154,12 @@ int Usage() {
                "  forensics <dump|timeline|audit|detect> [--app ...] [--spec <file>]\n"
                "           [--schedule 6min|continuous] [--budget <uJ>] [--backend ...]\n"
                "           [--level verdicts|full] [--flight-bytes N]\n"
+               "           [--spec2 <file>] [--swap-at <duration>]\n"
                "           [--gap <duration>] [--min-attempts N] [--out <file>]\n"
+               "  swap     <spec-v1> <spec-v2> [--app ...] [--swap-at <duration>]\n"
+               "           [--schedule 6min|continuous] [--budget <uJ>]\n"
+               "           [--flight off|verdicts|full] [--flight-bytes N]\n"
+               "           [--no-analyze] [--json] [--Werror]\n"
                "exit codes: 0 = clean, 1 = findings or failures, 2 = usage/IO error\n");
   return kExitUsage;
 }
@@ -200,6 +219,10 @@ struct Args {
   std::uint32_t fleet_tile = 256;       // --tile
   std::uint64_t fleet_seed = 1;         // --seed
   bool backend_set = false;  // fleet defaults to compiled unless --backend given
+  // swap command (second positional) and check --spec2: the replacement
+  // spec whose image hot-swaps over the running one (docs/hotswap.md).
+  std::string spec2_path;
+  std::string swap_at;  // --swap-at: earliest swap delivery time (duration)
   // forensics command only.
   std::string forensics_mode;         // dump | timeline | audit | detect
   std::string flight_level = "full";  // --level
@@ -244,6 +267,13 @@ bool ParseArgs(int argc, char** argv, Args* args) {
                    args->forensics_mode.c_str());
       return false;
     }
+  } else if (args->command == "swap") {
+    if (i + 1 >= argc || argv[i][0] == '-' || argv[i + 1][0] == '-') {
+      std::fprintf(stderr, "artemisc: swap wants two spec files (installed, replacement)\n");
+      return false;
+    }
+    args->spec_path = argv[i++];
+    args->spec2_path = argv[i++];
   } else if (args->command != "simulate" && args->command != "profile" &&
              args->command != "fleet") {
     if (i >= argc) {
@@ -488,6 +518,19 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         return false;
       }
       args->detect_gap = *parsed;
+    } else if (flag == "--spec2") {
+      const char* value = next();
+      if (value == nullptr) {
+        return false;
+      }
+      args->spec2_path = value;
+    } else if (flag == "--swap-at") {
+      const char* value = next();
+      if (value == nullptr || !ParseDuration(value).has_value()) {
+        std::fprintf(stderr, "artemisc: --swap-at wants a duration like 10min\n");
+        return false;
+      }
+      args->swap_at = value;
     } else if (flag == "--min-attempts") {
       const char* value = next();
       if (value == nullptr || std::atoi(value) < 1) {
@@ -646,6 +689,37 @@ int RunCheck(const Args& args, const std::string& source) {
     }
     std::fprintf(chatter, "analyzer: %zu error(s), %zu warning(s) across %zu machine(s)\n",
                  engine.ErrorCount(), engine.WarningCount(), machines.value().size());
+    hard_findings += static_cast<int>(engine.ErrorCount());
+  }
+  // --spec2: the hot-swap gate. Treats this spec as the installed epoch-1
+  // image and --spec2 as the epoch-2 replacement, then runs the migration
+  // planner (ART015) and swap-window feasibility pass (ART016).
+  if (!args.spec2_path.empty()) {
+    const std::optional<std::string> spec2 = ReadFile(args.spec2_path);
+    if (!spec2.has_value()) {
+      std::fprintf(stderr, "artemisc: cannot read '%s'\n", args.spec2_path.c_str());
+      return kExitUsage;
+    }
+    StatusOr<MonitorImage> old_image = BuildMonitorImage(source, app->graph, 1);
+    StatusOr<MonitorImage> new_image = BuildMonitorImage(*spec2, app->graph, 2);
+    if (!old_image.ok() || !new_image.ok()) {
+      const Status& bad = !old_image.ok() ? old_image.status() : new_image.status();
+      std::fprintf(stderr, "swap gate error: %s\n", bad.ToString().c_str());
+      return kExitFindings;
+    }
+    AnalysisOptions options;
+    if (!FillAnalysisOptions(args, &options)) {
+      return kExitUsage;
+    }
+    const DiagnosticEngine engine =
+        AnalyzeSwap(old_image.value(), new_image.value(), app->graph, options);
+    if (args.json) {
+      std::printf("%s", engine.RenderJson().c_str());
+    } else {
+      std::printf("%s", engine.RenderText(args.spec2_path).c_str());
+    }
+    std::fprintf(chatter, "swap analyzer: %zu error(s), %zu warning(s) migrating to '%s'\n",
+                 engine.ErrorCount(), engine.WarningCount(), args.spec2_path.c_str());
     hard_findings += static_cast<int>(engine.ErrorCount());
   }
   std::fprintf(chatter, "%zu properties across %zu task blocks: %s\n",
@@ -976,6 +1050,19 @@ int RunForensics(const Args& args) {
                  args.flight_level.c_str());
     return kExitUsage;
   }
+  // --spec2: deliver a hot-swap replacement image mid-run (src/swap,
+  // docs/hotswap.md) so the recovered ring spans a swap epoch: `timeline`
+  // renders the stitched image-epoch line at the commit point, and `audit`
+  // cross-validates records from both images against one obs-bus capture.
+  std::string source2;
+  if (!args.spec2_path.empty()) {
+    const std::optional<std::string> file = ReadFile(args.spec2_path);
+    if (!file.has_value()) {
+      std::fprintf(stderr, "artemisc: cannot read '%s'\n", args.spec2_path.c_str());
+      return kExitUsage;
+    }
+    source2 = *file;
+  }
   SimDuration charge = 0;
   if (args.schedule != "continuous") {
     const std::optional<SimDuration> period = ParseDuration(args.schedule);
@@ -1004,11 +1091,45 @@ int RunForensics(const Args& args) {
   bus.AddSink(&capture);
 
   ArtemisConfig config;
-  config.backend = args.backend;
+  // The swap path needs the versioned on-device image, i.e. the compiled
+  // backend; without --spec2 the user's --backend choice stands.
+  config.backend = args.spec2_path.empty() ? args.backend : MonitorBackend::kCompiled;
   config.kernel.max_wall_time = 12 * kHour;
   config.observer = &bus;
   config.flight = &recorder;
-  auto runtime = ArtemisRuntime::Create(&app->graph, source, mcu.get(), config);
+  StatusOr<std::unique_ptr<ArtemisRuntime>> runtime = Status::Internal("unset");
+  std::optional<HotSwapController> controller;
+  if (args.spec2_path.empty()) {
+    runtime = ArtemisRuntime::Create(&app->graph, source, mcu.get(), config);
+  } else {
+    StatusOr<MonitorImage> old_image = BuildMonitorImage(source, app->graph, 1);
+    if (!old_image.ok()) {
+      std::fprintf(stderr, "spec error: %s\n", old_image.status().ToString().c_str());
+      return kExitFindings;
+    }
+    StatusOr<MonitorImage> new_image = BuildMonitorImage(source2, app->graph, 2);
+    if (!new_image.ok()) {
+      std::fprintf(stderr, "spec2 error: %s\n", new_image.status().ToString().c_str());
+      return kExitFindings;
+    }
+    runtime = ArtemisRuntime::CreateFromArtifact(&app->graph, old_image.value().artifact,
+                                                 mcu.get(), config);
+    if (runtime.ok()) {
+      controller.emplace(&runtime.value()->monitors(), std::move(old_image).value(),
+                         &app->graph);
+      controller->set_flight(&recorder);
+      SimDuration swap_at = 0;
+      if (!args.swap_at.empty()) {
+        swap_at = *ParseDuration(args.swap_at);  // Validated in ParseArgs.
+      }
+      if (const Status queued = controller->RequestSwap(std::move(new_image).value(), swap_at);
+          !queued.ok()) {
+        std::fprintf(stderr, "artemisc: %s\n", queued.ToString().c_str());
+        return kExitFindings;
+      }
+      runtime.value()->kernel().set_swap_hook(&*controller);
+    }
+  }
   if (!runtime.ok()) {
     std::fprintf(stderr, "setup error: %s\n", runtime.status().ToString().c_str());
     return kExitFindings;
@@ -1069,7 +1190,153 @@ int RunForensics(const Args& args) {
                static_cast<unsigned long long>(result.stats.reboots),
                static_cast<unsigned long long>(recorder.stats().records_sealed),
                records.value().size());
+  if (controller.has_value()) {
+    const SwapStats& swap_stats = controller->stats();
+    std::fprintf(stderr, "forensics: swap epoch=%u %s attempts=%llu failed=%llu\n",
+                 controller->installed().epoch,
+                 swap_stats.swaps_applied > 0 ? "APPLIED" : "NOT APPLIED",
+                 static_cast<unsigned long long>(swap_stats.attempts_started),
+                 static_cast<unsigned long long>(swap_stats.attempts_failed));
+    if (swap_stats.swaps_applied == 0) {
+      clean = false;
+    }
+  }
   return clean ? kExitClean : kExitFindings;
+}
+
+// Over-the-air monitor replacement on the simulated device (src/swap,
+// docs/hotswap.md): installs <spec-v1> as the epoch-1 monitor image, queues
+// <spec-v2> as the epoch-2 replacement, and runs the app while the kernel
+// delivers the swap at the first task-boundary quiescence point at or after
+// --swap-at. The ART015/ART016 gate runs first and refuses un-migratable
+// images unless --no-analyze.
+int RunSwapCmd(const Args& args) {
+  auto app = MakeApp(args);
+  if (!app.has_value()) {
+    return kExitUsage;
+  }
+  const std::optional<std::string> source1 = ReadFile(args.spec_path);
+  if (!source1.has_value()) {
+    std::fprintf(stderr, "artemisc: cannot read '%s'\n", args.spec_path.c_str());
+    return kExitUsage;
+  }
+  const std::optional<std::string> source2 = ReadFile(args.spec2_path);
+  if (!source2.has_value()) {
+    std::fprintf(stderr, "artemisc: cannot read '%s'\n", args.spec2_path.c_str());
+    return kExitUsage;
+  }
+  StatusOr<MonitorImage> old_image = BuildMonitorImage(*source1, app->graph, 1);
+  if (!old_image.ok()) {
+    std::fprintf(stderr, "spec-v1 error: %s\n", old_image.status().ToString().c_str());
+    return kExitFindings;
+  }
+  StatusOr<MonitorImage> new_image = BuildMonitorImage(*source2, app->graph, 2);
+  if (!new_image.ok()) {
+    std::fprintf(stderr, "spec-v2 error: %s\n", new_image.status().ToString().c_str());
+    return kExitFindings;
+  }
+
+  FILE* chatter = args.json ? stderr : stdout;
+  if (!args.no_analyze) {
+    AnalysisOptions options;
+    if (!FillAnalysisOptions(args, &options)) {
+      return kExitUsage;
+    }
+    const DiagnosticEngine engine =
+        AnalyzeSwap(old_image.value(), new_image.value(), app->graph, options);
+    if (args.json) {
+      std::printf("%s", engine.RenderJson().c_str());
+    } else {
+      std::printf("%s", engine.RenderText(args.spec2_path).c_str());
+    }
+    std::fprintf(chatter, "swap analyzer: %zu error(s), %zu warning(s)\n",
+                 engine.ErrorCount(), engine.WarningCount());
+    if (engine.HasErrors()) {
+      std::fprintf(stderr,
+                   "artemisc: refusing to deliver the image: the swap analyzer reported "
+                   "errors (use --no-analyze to override)\n");
+      return kExitFindings;
+    }
+  }
+
+  SimDuration charge = 0;
+  if (args.schedule != "continuous") {
+    const std::optional<SimDuration> period = ParseDuration(args.schedule);
+    if (!period.has_value() || *period <= 1 * kSecond) {
+      std::fprintf(stderr, "artemisc: bad schedule '%s' (a duration > 1s, or 'continuous')\n",
+                   args.schedule.c_str());
+      return kExitUsage;
+    }
+    charge = *period - 1 * kSecond;
+  }
+  PlatformBuilder platform;
+  if (charge != 0) {
+    platform.WithFixedCharge(args.budget, charge);
+  } else {
+    platform.WithContinuousPower();
+  }
+  auto mcu = platform.Build();
+
+  std::unique_ptr<flight::FlightRecorder> recorder;
+  if (!args.sweep_flight.empty() && args.sweep_flight != "off") {
+    flight::FlightLevel level = flight::FlightLevel::kOff;
+    if (!flight::ParseFlightLevel(args.sweep_flight, &level)) {
+      std::fprintf(stderr, "artemisc: bad --flight '%s' (off|verdicts|full)\n",
+                   args.sweep_flight.c_str());
+      return kExitUsage;
+    }
+    recorder = std::make_unique<flight::FlightRecorder>(args.flight_bytes, level);
+    if (const Status attached = mcu->AttachFlightRecorder(recorder.get()); !attached.ok()) {
+      std::fprintf(stderr, "artemisc: %s\n", attached.ToString().c_str());
+      return kExitUsage;
+    }
+  }
+  SimDuration swap_at = 0;
+  if (!args.swap_at.empty()) {
+    swap_at = *ParseDuration(args.swap_at);  // Validated in ParseArgs.
+  }
+
+  ArtemisConfig config;
+  config.backend = MonitorBackend::kCompiled;  // The only versioned backend.
+  config.kernel.max_wall_time = 12 * kHour;
+  config.flight = recorder.get();
+  const std::uint64_t old_hash = old_image.value().header.spec_hash;
+  const std::uint64_t new_hash = new_image.value().header.spec_hash;
+  auto runtime = ArtemisRuntime::CreateFromArtifact(&app->graph, old_image.value().artifact,
+                                                    mcu.get(), config);
+  if (!runtime.ok()) {
+    std::fprintf(stderr, "setup error: %s\n", runtime.status().ToString().c_str());
+    return kExitFindings;
+  }
+  HotSwapController controller(&runtime.value()->monitors(), std::move(old_image).value(),
+                               &app->graph);
+  controller.set_flight(recorder.get());
+  if (const Status queued = controller.RequestSwap(std::move(new_image).value(), swap_at);
+      !queued.ok()) {
+    std::fprintf(stderr, "artemisc: %s\n", queued.ToString().c_str());
+    return kExitFindings;
+  }
+  runtime.value()->kernel().set_swap_hook(&controller);
+  const KernelRunResult result = runtime.value()->Run();
+
+  const SwapStats& stats = controller.stats();
+  std::fprintf(chatter, "swap: %016llx (epoch 1) -> %016llx (epoch %u): %s\n",
+               static_cast<unsigned long long>(old_hash),
+               static_cast<unsigned long long>(new_hash), controller.installed().epoch,
+               stats.swaps_applied > 0 ? "APPLIED" : "NOT APPLIED");
+  std::fprintf(chatter,
+               "swap: attempts=%llu failed=%llu staged_bytes=%llu fallback_commits=%llu\n",
+               static_cast<unsigned long long>(stats.attempts_started),
+               static_cast<unsigned long long>(stats.attempts_failed),
+               static_cast<unsigned long long>(stats.bytes_staged),
+               static_cast<unsigned long long>(stats.fallback_commits));
+  std::fprintf(chatter, "app=%s completed=%s wall=%s reboots=%llu energy=%s\n",
+               (args.app_file.empty() ? args.app : args.app_file).c_str(),
+               result.completed ? "yes" : (result.timed_out ? "NO(non-termination)" : "NO"),
+               FormatDuration(result.finished_at).c_str(),
+               static_cast<unsigned long long>(result.stats.reboots),
+               FormatEnergy(result.stats.TotalEnergy()).c_str());
+  return result.completed && stats.swaps_applied > 0 ? kExitClean : kExitFindings;
 }
 
 std::vector<std::string> SplitCommaList(const std::string& text) {
@@ -1169,6 +1436,17 @@ int RunSweepCmd(const Args& args) {
     grid.flight = args.sweep_flight;
     grid.flight_bytes = args.flight_bytes;
   }
+  if (!args.spec2_path.empty()) {
+    const std::optional<std::string> text = ReadFile(args.spec2_path);
+    if (!text.has_value()) {
+      std::fprintf(stderr, "artemisc: cannot read '%s'\n", args.spec2_path.c_str());
+      return kExitUsage;
+    }
+    grid.spec2 = {args.spec2_path, *text};
+  }
+  if (!args.swap_at.empty()) {
+    grid.swap_at = *ParseDuration(args.swap_at);  // Validated in ParseArgs.
+  }
   if (args.no_analyze) {
     grid.analyze = false;
   }
@@ -1209,6 +1487,14 @@ int RunSweepCmd(const Args& args) {
 }
 
 int RunFleetCmd(const Args& args) {
+  if (!args.spec2_path.empty()) {
+    // Batch lanes share one compiled image; per-device hot swap is scalar
+    // work. The sweep engine carries the swap axis instead.
+    std::fprintf(stderr,
+                 "artemisc: fleet does not support --spec2; use `artemisc sweep --spec2` "
+                 "(docs/hotswap.md)\n");
+    return kExitUsage;
+  }
   fleet::FleetSpec spec;
   spec.app = args.app;
   if (!args.spec_path.empty()) {
@@ -1317,6 +1603,9 @@ int Main(int argc, char** argv) {
   }
   if (args.command == "forensics") {
     return RunForensics(args);
+  }
+  if (args.command == "swap") {
+    return RunSwapCmd(args);
   }
   const std::optional<std::string> source = ReadFile(args.spec_path);
   if (!source.has_value()) {

@@ -7,12 +7,16 @@
 #      clean (exit 0) for every shipped example spec — including the
 #      EXPERIMENTS.md charge grid — and must FAIL (exit 1) for every fixture
 #      under examples/specs/bad/, each reporting its headline ART0xx code
-#      under the deployment axes that trigger it.
+#      under the deployment axes that trigger it. The hot-swap gate
+#      (`check --spec2`, ART015/ART016) runs the same way over the swap
+#      fixtures and an infeasible swap window.
 #   4. Golden-trace gate: `artemisc trace` of the health app under 6-minute
 #      charging must be byte-identical to tests/golden/trace/health_6min.jsonl
 #      (checked with `artemisc trace diff`); likewise `artemisc forensics
 #      dump` must reproduce tests/golden/flight/health_6min.jsonl, and
-#      `artemisc forensics audit` must report zero mismatches.
+#      `artemisc forensics audit` must report zero mismatches. A forensics
+#      run that hot-swaps mid-flight (`--spec2`) must stitch the swap-epoch
+#      record into the timeline and still audit clean across the swap.
 #   5. Docs link check: every relative .md link in README.md, DESIGN.md,
 #      EXPERIMENTS.md, and docs/ must resolve to an existing file.
 #   6. Sweep determinism smoke: `artemisc sweep` over a small grid must
@@ -100,6 +104,16 @@ check_dirty "bad/war_hazard.prop" ART013 "${specs}/bad/war_hazard.prop" \
   --app health --no-immortal
 check_dirty "bad/flight_erosion.prop" ART014 "${specs}/bad/flight_erosion.prop" \
   --app health --flight full --flight-bytes 20
+# Hot-swap gate (docs/hotswap.md): the positional spec is the installed
+# image, --spec2 the over-the-air replacement (ART015/ART016).
+check_clean "health.prop -> health.prop (swap)" "${specs}/health.prop" --app health \
+  --spec2 "${specs}/health.prop"
+check_dirty "bad/swap_cross_type.prop (swap)" ART015 "${specs}/health.prop" \
+  --app health --spec2 "${specs}/bad/swap_cross_type.prop"
+check_dirty "bad/swap_unknown_rule.prop (swap)" ART015 "${specs}/health.prop" \
+  --app health --spec2 "${specs}/bad/swap_unknown_rule.prop"
+check_dirty "health.prop (swap, 1 uJ window)" ART016 "${specs}/health.prop" \
+  --app health --spec2 "${specs}/health.prop" --budgets 1
 
 echo "== [4/9] Golden-trace regression =="
 # The exported observability stream is deterministic: a fresh run of the
@@ -133,6 +147,27 @@ if ! "${artemisc}" forensics audit --app health --schedule 6min > /dev/null 2>&1
   exit 1
 fi
 echo "ok: health 6min flight log audits clean"
+
+# Hot-swap stitch (docs/hotswap.md): a run that hot-swaps monitor images
+# mid-flight must leave a sealed swap-epoch record that the timeline
+# renders (the cross-version history has no gap at the commit point), and
+# the same ring must still audit clean against the obs-bus capture of the
+# run. Both commands exit nonzero if the swap never applied.
+swap_timeline="$("${artemisc}" forensics timeline --app health \
+  --spec "${specs}/health.prop" --spec2 "${specs}/health.prop" \
+  --swap-at 2min --schedule 6min --flight-bytes 512 2> /dev/null)"
+if ! grep -q "image-epoch=2" <<< "${swap_timeline}"; then
+  echo "CI FAIL: forensics timeline does not stitch the swap epoch (no image-epoch line)" >&2
+  exit 1
+fi
+echo "ok: forensics timeline stitches the swap-epoch record"
+if ! "${artemisc}" forensics audit --app health --spec "${specs}/health.prop" \
+    --spec2 "${specs}/health.prop" --swap-at 2min --schedule 6min \
+    --flight-bytes 512 > /dev/null 2>&1; then
+  echo "CI FAIL: flight log does not audit clean across a swap epoch" >&2
+  exit 1
+fi
+echo "ok: flight log audits clean across the swap epoch"
 
 echo "== [5/9] Docs link check =="
 # Every relative .md link in the top-level docs and docs/ must resolve.
