@@ -84,10 +84,150 @@ class TileStepper {
           std::shared_ptr<const CompiledMachine>(artifact, &machine), lanes);
     }
     failures_.resize(machines_.size());
+    high_water_.resize(machines_.size(), 0);
     pending_.resize(lanes);
     cursors_.resize(lanes);
     events_.resize(lanes);
+
+    // Fleet-level dead-column tables, sized by the widest machine's task
+    // range (ColumnDead clamps narrower machines' task ids onto their
+    // any-task row, matching their dispatch). An event is a provable no-op
+    // for a machine when its column self-loops in every state — or when
+    // the machine is path-scoped to a different path, in which case
+    // StepBatch would drop the event before dispatch anyway. So the check
+    // is per event path: the base table ANDs the unscoped machines, and
+    // each scoped path gets a refinement table that additionally ANDs the
+    // machines watching that path. RunTile consumes all-dead events at
+    // feed time, so they never cost a batch-VM pass.
+    max_task_ = 0;
+    for (const BatchCompiledMonitor& m : machines_) {
+      max_task_ = std::max(max_task_, m.machine().max_task);
+    }
+    const std::uint32_t cols = max_task_ + 2u;
+    base_dead_.assign(2u * cols, machines_.empty() ? 0u : 1u);
+    for (const BatchCompiledMonitor& m : machines_) {
+      if (m.machine().path_scope != kNoPath) {
+        continue;
+      }
+      AndColumnsInto(m, &base_dead_);
+    }
+    for (const BatchCompiledMonitor& m : machines_) {
+      const PathId scope = m.machine().path_scope;
+      if (scope == kNoPath) {
+        continue;
+      }
+      const auto p = static_cast<std::size_t>(scope);
+      if (scope_dead_.size() <= p) {
+        scope_dead_.resize(p + 1);
+      }
+      if (scope_dead_[p].empty()) {
+        scope_dead_[p] = base_dead_;
+      }
+      AndColumnsInto(m, &scope_dead_[p]);
+    }
+    live_lanes_.reserve(lanes);
+    for (const BatchCompiledMonitor& m : machines_) {
+      const PathId scope = m.machine().path_scope;
+      if (scope == kNoPath) {
+        continue;
+      }
+      const auto p = static_cast<std::size_t>(scope);
+      if (path_lanes_.size() <= p) {
+        path_lanes_.resize(p + 1);
+        path_watched_.resize(p + 1, 0u);
+      }
+      path_watched_[p] = 1u;
+      path_lanes_[p].reserve(lanes);
+    }
+    // Per-machine live-column bitmask (fleet layout, bit = kind*cols + t):
+    // the dynamic complement of the dead tables above. The feed loop ORs
+    // the columns actually present among a pass's live lanes into a pass
+    // mask; a machine whose live columns miss that mask entirely is proven
+    // all-self-loop for the WHOLE pass and skips its partition outright —
+    // dead-column elision at machine-pass granularity, catching event
+    // mixes that are only dead for SOME machines and so survive EventDead.
+    // Masks need 2*cols bits; monitors with task ranges beyond 64 bits of
+    // columns simply forgo the skip (column_mask_ok_ false).
+    column_mask_ok_ = 2u * cols <= 64u;
+    if (column_mask_ok_) {
+      live_col_mask_.assign(machines_.size(), 0u);
+      for (std::size_t m = 0; m < machines_.size(); ++m) {
+        for (std::uint32_t kind = 0; kind < 2; ++kind) {
+          for (std::uint32_t t = 0; t < cols; ++t) {
+            if (!machines_[m].ColumnDead(static_cast<EventKind>(kind),
+                                         static_cast<TaskId>(t))) {
+              live_col_mask_[m] |= std::uint64_t{1} << (kind * cols + t);
+            }
+          }
+        }
+      }
+    }
+    path_masks_.resize(path_watched_.size(), 0u);
+    // Reported static elision facts use the strict scope-blind AND over
+    // every machine — the columns no event can ever touch, whatever its
+    // path. (The runtime elision rate is usually higher, because scoped
+    // machines only constrain events on their own path.)
+    for (std::uint32_t kind = 0; kind < 2; ++kind) {
+      for (std::uint32_t t = 0; t < cols; ++t) {
+        bool dead = !machines_.empty();
+        for (const BatchCompiledMonitor& m : machines_) {
+          if (!m.ColumnDead(static_cast<EventKind>(kind), static_cast<TaskId>(t))) {
+            dead = false;
+            break;
+          }
+        }
+        dead_columns_ += dead ? 1u : 0u;
+      }
+    }
   }
+
+  // Is (kind, task, path) a provable no-op for every machine of the set?
+  bool EventDead(const MonitorEvent& e) const {
+    const std::uint32_t cols = max_task_ + 2u;
+    const auto t = std::min(static_cast<std::uint32_t>(e.task), cols - 1u);
+    const auto p = static_cast<std::size_t>(e.path);
+    const std::vector<std::uint8_t>& table =
+        e.path != kNoPath && p < scope_dead_.size() && !scope_dead_[p].empty()
+            ? scope_dead_[p]
+            : base_dead_;
+    return table[static_cast<std::uint32_t>(e.kind) * cols + t] != 0;
+  }
+  std::uint32_t dead_columns() const { return dead_columns_; }
+  std::uint32_t total_columns() const { return 2u * (max_task_ + 2u); }
+
+  void EnableTraffic() {
+    traffic_on_ = true;  // disables the machine-pass skip: the measured
+                         // dispatch mix must include self-loop dispatches
+    for (BatchCompiledMonitor& m : machines_) {
+      m.EnableTraffic();
+    }
+  }
+
+  // Folds this stepper's accumulated traffic counters into `agg` as plain
+  // uint64 sums (shard-order independent by commutativity).
+  void FoldTraffic(FleetAggregates* agg) const {
+    agg->has_traffic = true;
+    if (agg->entry_traffic.size() < machines_.size()) {
+      agg->entry_traffic.resize(machines_.size());
+    }
+    for (std::size_t m = 0; m < machines_.size(); ++m) {
+      const std::vector<std::uint64_t>& counters = machines_[m].EntryTraffic();
+      std::vector<std::uint64_t>& dst = agg->entry_traffic[m];
+      if (dst.size() < counters.size()) {
+        dst.resize(counters.size(), 0);
+      }
+      for (std::size_t i = 0; i < counters.size(); ++i) {
+        dst[i] += counters[i];
+      }
+      const std::vector<std::uint64_t> by_class = machines_[m].ClassTraffic();
+      for (std::size_t c = 0; c < by_class.size() && c < agg->class_traffic.size(); ++c) {
+        agg->class_traffic[c] += by_class[c];
+      }
+    }
+  }
+
+  std::size_t machine_count() const { return machines_.size(); }
+  const BatchCompiledMonitor& machine(std::size_t i) const { return machines_[i]; }
 
   std::vector<std::uint64_t> ClassHistogram() const {
     std::vector<std::uint64_t> counts(5, 0);
@@ -114,33 +254,91 @@ class TileStepper {
     }
     for (;;) {
       // Feed each lane's cursor: replay path-restart markers in place,
-      // then expose the next event (or mark the lane exhausted).
-      bool any = false;
+      // consume dead-column events inline (they count as monitor events but
+      // provably cannot change any machine's lane state or verdicts), then
+      // expose the next live event (or mark the lane exhausted). The same
+      // walk builds this pass's lane lists — live lanes, plus per watched
+      // path the lanes whose event is on it — so the per-lane liveness and
+      // path decode happens ONCE here instead of once per machine inside
+      // every partition pass.
+      live_lanes_.clear();
+      for (auto& list : path_lanes_) {
+        list.clear();
+      }
+      const std::uint32_t cols = max_task_ + 2u;
+      std::uint64_t pass_mask = 0;
+      std::fill(path_masks_.begin(), path_masks_.end(), std::uint64_t{0});
       for (std::uint32_t lane = 0; lane < n; ++lane) {
         std::vector<CapturedRecord>& stream = streams[lane];
         std::size_t& cur = cursors_[lane];
-        while (cur < stream.size() &&
-               stream[cur].kind == CapturedRecord::Kind::kPathRestart) {
-          for (BatchCompiledMonitor& m : machines_) {
-            m.OnPathRestartLane(lane, stream[cur].restart_path);
+        while (cur < stream.size()) {
+          const CapturedRecord& rec = stream[cur];
+          if (rec.kind == CapturedRecord::Kind::kPathRestart) {
+            for (BatchCompiledMonitor& m : machines_) {
+              m.OnPathRestartLane(lane, rec.restart_path);
+            }
+            ++cur;
+            continue;
           }
-          ++cur;
+          if (EventDead(rec.event)) {
+            ++results[lane]->monitor_events;
+            ++results[lane]->monitor_events_elided;
+            ++cur;
+            continue;
+          }
+          break;
         }
         if (cur < stream.size()) {
-          events_[lane] = &stream[cur].event;
-          any = true;
+          const MonitorEvent& event = stream[cur].event;
+          events_[lane] = &event;
+          live_lanes_.push_back(lane);
+          const std::uint64_t col_bit =
+              std::uint64_t{1}
+              << (static_cast<std::uint32_t>(event.kind) * cols +
+                  std::min(static_cast<std::uint32_t>(event.task), cols - 1u));
+          pass_mask |= col_bit;
+          const auto p = static_cast<std::size_t>(event.path);
+          if (p < path_watched_.size() && path_watched_[p] != 0u) {
+            path_lanes_[p].push_back(lane);
+            path_masks_[p] |= col_bit;
+          }
         } else {
           events_[lane] = nullptr;
         }
       }
-      if (!any) {
+      if (live_lanes_.empty()) {
         return;
       }
-      // One SoA pass per machine over the whole tile; failures come back
+      // One SoA pass per machine over its lane list; failures come back
       // as compact lists, so the common all-clear round writes nothing.
+      // Reserving to the run's high-water mark keeps the (rare) appends
+      // from reallocating mid-pass once a burst has been seen once.
       for (std::size_t m = 0; m < machines_.size(); ++m) {
         failures_[m].clear();
-        machines_[m].StepBatch(events_.data(), n, &failures_[m]);
+        const PathId scope = machines_[m].machine().path_scope;
+        const std::vector<std::uint32_t>& list =
+            scope == kNoPath ? live_lanes_ : path_lanes_[static_cast<std::size_t>(scope)];
+        if (list.empty()) {
+          continue;  // Nothing on this machine's path this pass.
+        }
+        // Machine-pass elision: if none of the columns present in this
+        // machine's lane list is live for it, every listed lane would
+        // partition to kSelfLoop — provably no state change, no failure.
+        // Skipped under --stats so the traffic profile stays the true
+        // dispatch mix.
+        if (column_mask_ok_ && !traffic_on_) {
+          const std::uint64_t mask =
+              scope == kNoPath ? pass_mask : path_masks_[static_cast<std::size_t>(scope)];
+          if ((mask & live_col_mask_[m]) == 0u) {
+            continue;
+          }
+        }
+        if (failures_[m].capacity() < high_water_[m]) {
+          failures_[m].reserve(high_water_[m]);
+        }
+        machines_[m].StepBatchLanes(events_.data(), list.data(),
+                                    static_cast<std::uint32_t>(list.size()), &failures_[m]);
+        high_water_[m] = std::max(high_water_[m], failures_[m].size());
       }
       // Group the (rare) failures per lane — machine-outer iteration keeps
       // each lane's pending list in machine order, mirroring MonitorSet's
@@ -176,14 +374,48 @@ class TileStepper {
   }
 
  private:
+  // ANDs machine m's dead-column verdicts into `table` (fleet layout).
+  void AndColumnsInto(const BatchCompiledMonitor& m, std::vector<std::uint8_t>* table) const {
+    const std::uint32_t cols = max_task_ + 2u;
+    for (std::uint32_t kind = 0; kind < 2; ++kind) {
+      for (std::uint32_t t = 0; t < cols; ++t) {
+        if (!m.ColumnDead(static_cast<EventKind>(kind), static_cast<TaskId>(t))) {
+          (*table)[kind * cols + t] = 0u;
+        }
+      }
+    }
+  }
+
   ArbitrationPolicy policy_;
   std::uint32_t lanes_ = 0;
+  std::uint32_t max_task_ = 0;           // widest machine's task range
+  std::uint32_t dead_columns_ = 0;       // strict scope-blind AND, for reporting
+  std::vector<std::uint8_t> base_dead_;  // [kind][task], AND over unscoped machines
+  // [path] -> base ANDed with the machines scoped to that path; empty
+  // vector = no machine watches the path, fall back to base.
+  std::vector<std::vector<std::uint8_t>> scope_dead_;
   std::vector<BatchCompiledMonitor> machines_;
   std::vector<std::vector<BatchFailure>> failures_;   // [machine], reused
+  std::vector<std::size_t> high_water_;               // [machine] max failures seen
   std::vector<std::vector<MonitorVerdict>> pending_;  // [lane], cleared after use
   std::vector<std::uint32_t> touched_;                // lanes with pending verdicts
   std::vector<std::size_t> cursors_;                  // [lane]
   std::vector<const MonitorEvent*> events_;           // [lane]
+  // Per-pass lane lists (ascending by construction of the feed loop):
+  // every live lane, and — for each path some machine is scoped to — the
+  // live lanes whose current event is on that path. Unscoped machines
+  // step the live list (skipping exhausted lanes without a per-machine
+  // null test); a scoped machine steps only its path's list, so its pass
+  // cost tracks the traffic it can actually see instead of the tile width.
+  std::vector<std::uint32_t> live_lanes_;
+  std::vector<std::vector<std::uint32_t>> path_lanes_;  // [path], filled if watched
+  std::vector<std::uint8_t> path_watched_;              // [path], 1 = some machine's scope
+  // Machine-pass elision state: per-machine live-column bitmask plus the
+  // per-pass masks of columns actually present (fleet layout bits).
+  bool column_mask_ok_ = false;
+  bool traffic_on_ = false;
+  std::vector<std::uint64_t> live_col_mask_;  // [machine]
+  std::vector<std::uint64_t> path_masks_;     // [path], per-pass scratch
 };
 
 }  // namespace
@@ -283,6 +515,7 @@ void FleetAggregates::Fold(const DeviceResult& result) {
   energy_nj += result.energy_nj;
   monitor_energy_nj += result.monitor_energy_nj;
   monitor_events += result.monitor_events;
+  monitor_events_elided += result.monitor_events_elided;
   violations += result.violations;
   devices_with_violations += result.violations > 0 ? 1 : 0;
   commits += result.commits;
@@ -317,6 +550,7 @@ void FleetAggregates::MergeFrom(const FleetAggregates& other) {
   energy_nj += other.energy_nj;
   monitor_energy_nj += other.monitor_energy_nj;
   monitor_events += other.monitor_events;
+  monitor_events_elided += other.monitor_events_elided;
   violations += other.violations;
   devices_with_violations += other.devices_with_violations;
   commits += other.commits;
@@ -332,6 +566,23 @@ void FleetAggregates::MergeFrom(const FleetAggregates& other) {
   obs_total += other.obs_total;
   obs_completed_paths += other.obs_completed_paths;
   obs_committed_bytes += other.obs_committed_bytes;
+  has_traffic = has_traffic || other.has_traffic;
+  for (std::size_t c = 0; c < class_traffic.size(); ++c) {
+    class_traffic[c] += other.class_traffic[c];
+  }
+  if (entry_traffic.size() < other.entry_traffic.size()) {
+    entry_traffic.resize(other.entry_traffic.size());
+  }
+  for (std::size_t m = 0; m < other.entry_traffic.size(); ++m) {
+    std::vector<std::uint64_t>& dst = entry_traffic[m];
+    const std::vector<std::uint64_t>& src = other.entry_traffic[m];
+    if (dst.size() < src.size()) {
+      dst.resize(src.size(), 0);
+    }
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      dst[i] += src[i];
+    }
+  }
 }
 
 DeviceConfig ConfigForDevice(const FleetSpec& spec, std::uint64_t index) {
@@ -428,6 +679,9 @@ StatusOr<FleetOutcome> RunFleet(const FleetSpec& spec) {
     // traffic), advance all their monitors together, fold, reuse the
     // tile buffers for the next slice of the range.
     TileStepper stepper(ctx.artifact, spec.tile, ArbitrationPolicy::kSeverity);
+    if (spec.collect_traffic) {
+      stepper.EnableTraffic();
+    }
     std::vector<DeviceResult> results(spec.tile);
     std::vector<std::vector<CapturedRecord>> streams;
     std::vector<DeviceResult*> result_ptrs;
@@ -446,6 +700,9 @@ StatusOr<FleetOutcome> RunFleet(const FleetSpec& spec) {
         agg.Fold(results[lane]);
       }
     }
+    if (spec.collect_traffic) {
+      stepper.FoldTraffic(&agg);
+    }
   });
 
   FleetOutcome outcome;
@@ -457,6 +714,58 @@ StatusOr<FleetOutcome> RunFleet(const FleetSpec& spec) {
   if (spec.monitor == "batch") {
     TileStepper probe(ctx.artifact, 1, ArbitrationPolicy::kSeverity);
     outcome.handler_classes = probe.ClassHistogram();
+    outcome.dead_columns = probe.dead_columns();
+    outcome.total_columns = probe.total_columns();
+    if (outcome.agg.has_traffic) {
+      // Resolve every non-zero entry counter to names via a probe machine
+      // (the counters come from the shard workers; the layout is identical
+      // because every stepper compiles the same artifact), sort hottest
+      // first with a (machine, entry) tie-break, and keep the head — the
+      // tail is a long flat list of cold entries.
+      struct RawRow {
+        std::size_t machine;
+        std::uint32_t entry;
+        std::uint64_t events;
+      };
+      std::vector<RawRow> rows;
+      for (std::size_t m = 0;
+           m < outcome.agg.entry_traffic.size() && m < probe.machine_count(); ++m) {
+        const std::vector<std::uint64_t>& counters = outcome.agg.entry_traffic[m];
+        for (std::uint32_t e = 0; e < counters.size(); ++e) {
+          if (counters[e] > 0) {
+            rows.push_back(RawRow{m, e, counters[e]});
+          }
+        }
+      }
+      std::sort(rows.begin(), rows.end(), [](const RawRow& a, const RawRow& b) {
+        if (a.events != b.events) {
+          return a.events > b.events;
+        }
+        if (a.machine != b.machine) {
+          return a.machine < b.machine;
+        }
+        return a.entry < b.entry;
+      });
+      constexpr std::size_t kMaxTrafficRows = 16;
+      if (rows.size() > kMaxTrafficRows) {
+        rows.resize(kMaxTrafficRows);
+      }
+      static constexpr const char* kClassNames[] = {
+          "self_loop", "commit", "store_field_commit", "guard_elapsed_commit", "general"};
+      for (const RawRow& raw : rows) {
+        const BatchCompiledMonitor& m = probe.machine(raw.machine);
+        const BatchCompiledMonitor::EntryInfo info = m.DecodeEntry(raw.entry);
+        FleetTrafficRow row;
+        row.machine = static_cast<int>(raw.machine);
+        row.state = m.machine().state_names[info.state];
+        row.kind = info.kind;
+        row.task = info.task;
+        row.handler_class =
+            kClassNames[static_cast<std::size_t>(m.EntryClass(raw.entry))];
+        row.events = raw.events;
+        outcome.traffic.push_back(std::move(row));
+      }
+    }
   }
   return outcome;
 }
@@ -492,6 +801,8 @@ std::string RenderFleetJson(const FleetSpec& spec, const FleetOutcome& outcome) 
   out += "    \"monitor_energy_nj\": " + U64(a.monitor_energy_nj) + ",\n";
   out += "    \"monitor_share\": " + Ratio(a.monitor_energy_nj, a.energy_nj) + ",\n";
   out += "    \"monitor_events\": " + U64(a.monitor_events) + ",\n";
+  out += "    \"monitor_events_elided\": " + U64(a.monitor_events_elided) + ",\n";
+  out += "    \"elision_rate\": " + Ratio(a.monitor_events_elided, a.monitor_events) + ",\n";
   out += "    \"violations\": " + U64(a.violations) + ",\n";
   out += "    \"violation_rate\": " + Ratio(a.violations, a.monitor_events) + ",\n";
   out += "    \"devices_with_violations\": " + U64(a.devices_with_violations) + ",\n";
@@ -502,6 +813,38 @@ std::string RenderFleetJson(const FleetSpec& spec, const FleetOutcome& outcome) 
   out += "  \"energy_uj\": \"" + a.energy_uj_hist.Summary() + "\",\n";
   out += "  \"violations_per_device\": \"" + a.violations_hist.Summary() + "\",\n";
   out += "  \"attempts_per_commit\": \"" + a.attempts_hist.Summary() + "\"";
+  if (!outcome.handler_classes.empty()) {
+    out += ",\n  \"batch\": {\n";
+    out += "    \"handler_classes\": [";
+    for (std::size_t i = 0; i < outcome.handler_classes.size(); ++i) {
+      out += (i == 0 ? "" : ", ") + U64(outcome.handler_classes[i]);
+    }
+    out += "],\n";
+    out += "    \"dead_columns\": " + U64(outcome.dead_columns) + ",\n";
+    out += "    \"columns\": " + U64(outcome.total_columns) + "\n";
+    out += "  }";
+  }
+  if (a.has_traffic) {
+    out += ",\n  \"class_traffic\": {";
+    static constexpr const char* kClassKeys[] = {
+        "self_loop", "commit", "store_field_commit", "guard_elapsed_commit", "general"};
+    for (std::size_t c = 0; c < a.class_traffic.size(); ++c) {
+      out += std::string(c == 0 ? "" : ", ") + "\"" + kClassKeys[c] +
+             "\": " + U64(a.class_traffic[c]);
+    }
+    out += "},\n  \"traffic\": [";
+    for (std::size_t i = 0; i < outcome.traffic.size(); ++i) {
+      const FleetTrafficRow& row = outcome.traffic[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {\"machine\": " + U64(static_cast<std::uint64_t>(row.machine)) +
+             ", \"state\": \"" + JsonEscape(row.state) + "\", \"kind\": \"" +
+             (row.kind < 0 ? "any" : row.kind == 0 ? "start" : "end") + "\", \"task\": " +
+             (row.task < 0 ? std::string("-1") : U64(static_cast<std::uint64_t>(row.task))) +
+             ", \"class\": \"" + row.handler_class + "\", \"events\": " + U64(row.events) +
+             "}";
+    }
+    out += outcome.traffic.empty() ? "]" : "\n  ]";
+  }
   if (a.has_obs) {
     out += ",\n  \"obs\": {\n";
     out += "    \"total_events\": " + U64(a.obs_total) + ",\n";
@@ -540,14 +883,31 @@ std::string RenderFleetTable(const FleetSpec& spec, const FleetOutcome& outcome)
   out += "kernel: iterations=" + U64(a.iterations) + " reboots=" + U64(a.reboots) +
          " commits=" + U64(a.commits) + " aborts=" + U64(a.aborts) + " skips=" +
          U64(a.skips) + "\n";
-  out += "monitor: events=" + U64(a.monitor_events) + " violations=" + U64(a.violations) +
-         " violation_rate=" + Ratio(a.violations, a.monitor_events) +
+  out += "monitor: events=" + U64(a.monitor_events) + " elided=" +
+         U64(a.monitor_events_elided) + " elision_rate=" +
+         Ratio(a.monitor_events_elided, a.monitor_events) + " violations=" +
+         U64(a.violations) + " violation_rate=" + Ratio(a.violations, a.monitor_events) +
          " devices_with_violations=" + U64(a.devices_with_violations) + "\n";
   out += "energy: total_nj=" + U64(a.energy_nj) + " monitor_nj=" + U64(a.monitor_energy_nj) +
          " monitor_share=" + Ratio(a.monitor_energy_nj, a.energy_nj) + "\n";
   out += "energy_uj: " + a.energy_uj_hist.Summary() + "\n";
   out += "violations_per_device: " + a.violations_hist.Summary() + "\n";
   out += "attempts_per_commit: " + a.attempts_hist.Summary() + "\n";
+  if (!outcome.handler_classes.empty()) {
+    out += "batch: handler_classes=[";
+    for (std::size_t i = 0; i < outcome.handler_classes.size(); ++i) {
+      out += (i == 0 ? "" : ",") + U64(outcome.handler_classes[i]);
+    }
+    out += "] dead_columns=" + U64(outcome.dead_columns) + "/" +
+           U64(outcome.total_columns) + "\n";
+  }
+  for (const FleetTrafficRow& row : outcome.traffic) {
+    out += "traffic: machine=" + U64(static_cast<std::uint64_t>(row.machine)) + " state=" +
+           row.state + " kind=" +
+           (row.kind < 0 ? "any" : row.kind == 0 ? "start" : "end") + " task=" +
+           (row.task < 0 ? std::string("any") : U64(static_cast<std::uint64_t>(row.task))) +
+           " class=" + row.handler_class + " events=" + U64(row.events) + "\n";
+  }
   if (!a.first_error.empty()) {
     out += "first_error: " + a.first_error + "\n";
   }

@@ -69,6 +69,11 @@ struct FleetSpec {
   // Attach a per-device obs bus + ObsStatsAggregator and fold the counts
   // (zero simulated cycles, like sweep's collect_stats).
   bool collect_obs = false;
+  // Batch mode only: count events per dispatch entry while stepping (the
+  // measured dispatch-entry mix, vs. the static handler-class histogram)
+  // and surface the hot entries through FleetOutcome::traffic. Costs one
+  // counter increment per dispatched lane-event.
+  bool collect_traffic = false;
   // Sweep-parity fail-fast gate: run the whole-system static analyzer
   // (src/analysis) over the fleet's spec against its charge/budget axes
   // before any device simulates; analyzer errors abort the fleet with a
@@ -125,6 +130,7 @@ struct FleetAggregates {
   std::uint64_t energy_nj = 0;
   std::uint64_t monitor_energy_nj = 0;
   std::uint64_t monitor_events = 0;
+  std::uint64_t monitor_events_elided = 0;  // dead-column subset of the above
   std::uint64_t violations = 0;
   std::uint64_t devices_with_violations = 0;
   std::uint64_t commits = 0;
@@ -141,10 +147,29 @@ struct FleetAggregates {
   std::uint64_t obs_completed_paths = 0;
   std::uint64_t obs_committed_bytes = 0;
 
+  // Runtime dispatch-entry traffic (FleetSpec::collect_traffic): events per
+  // handler class (kSelfLoop..kGeneral) and per (machine, entry) counter.
+  // Pure uint64 sums, so shard merges stay order-independent.
+  bool has_traffic = false;
+  std::array<std::uint64_t, 5> class_traffic{};
+  std::vector<std::vector<std::uint64_t>> entry_traffic;  // [machine][entry]
+
   std::string first_error;  // first failing device's error, by index
 
   void Fold(const DeviceResult& result);
   void MergeFrom(const FleetAggregates& other);
+};
+
+// One hot dispatch entry from the runtime traffic profile, pre-resolved to
+// names so renderers stay pure formatting. kind/task are -1 for a machine's
+// shared any-task row.
+struct FleetTrafficRow {
+  int machine = 0;
+  std::string state;
+  int kind = 0;
+  int task = 0;
+  std::string handler_class;
+  std::uint64_t events = 0;
 };
 
 struct FleetOutcome {
@@ -154,6 +179,15 @@ struct FleetOutcome {
   // Batch-VM handler-class histogram (kSelfLoop..kGeneral, summed over
   // machines), empty in scalar mode.
   std::vector<std::uint64_t> handler_classes;
+  // Dead-column elision facts (batch mode): (kind, task) columns that are
+  // kSelfLoop in EVERY machine — events on them are consumed at feed time
+  // without ever reaching the batch VM — over the total column count.
+  std::uint32_t dead_columns = 0;
+  std::uint32_t total_columns = 0;
+  // Hottest dispatch entries by measured traffic (collect_traffic only),
+  // sorted by events descending; ties broken by (machine, entry) order so
+  // the list is deterministic for any shard count.
+  std::vector<FleetTrafficRow> traffic;
 
   bool AllOk() const { return agg.errors == 0; }
 };

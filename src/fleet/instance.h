@@ -85,6 +85,10 @@ struct DeviceResult {
   std::uint64_t energy_nj = 0;          // total simulated energy
   std::uint64_t monitor_energy_nj = 0;  // CostTag::kMonitor share
   std::uint64_t monitor_events = 0;
+  // Of monitor_events, how many the batch pass consumed via the dead-column
+  // check without dispatching (provably self-loops in every machine).
+  // Always 0 in scalar mode. Subset of monitor_events, never additional.
+  std::uint64_t monitor_events_elided = 0;
   std::uint64_t violations = 0;  // scalar: in-loop; capture: batch pass fills it
   std::uint64_t commits = 0;
   std::uint64_t aborts = 0;

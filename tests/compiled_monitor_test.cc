@@ -417,6 +417,370 @@ TEST(BatchCompiledMonitorTest, FastClassesCoverAppDispatch) {
   }
 }
 
+// ------------------------------------ per-class and cohort-shape fuzzing --
+//
+// Synthetic machines built so that ONE handler class takes all dispatched
+// traffic, mirroring bench/batch_step.cc: if the compiler stops
+// classifying a shape into its intended class, the ClassOf assertions here
+// fail before any timing ever runs. Each machine is then fuzzed
+// differentially (StepBatch vs StepLaneGeneral vs scalar CompiledMonitor),
+// which exercises the vectorized kernel for that class specifically —
+// with and without ARTEMIS_SIMD, since tools/ci.sh builds this suite both
+// ways.
+
+// S0 <-> S1 on start(0), guard-free, empty body: kCommit.
+StateMachine CommitMachine() {
+  StateMachine m;
+  m.name = "fuzz_commit";
+  m.property_label = "fuzz_commit";
+  m.states = {"S0", "S1"};
+  m.initial = "S0";
+  Transition fwd;
+  fwd.from = "S0";
+  fwd.to = "S1";
+  fwd.trigger = TriggerKind::kStartTask;
+  fwd.task = 0;
+  Transition back = fwd;
+  back.from = "S1";
+  back.to = "S0";
+  m.transitions = {fwd, back};
+  return m;
+}
+
+// Same shape plus `t0 = event.timestamp`: kStoreFieldCommit.
+StateMachine StoreFieldMachine() {
+  StateMachine m = CommitMachine();
+  m.name = "fuzz_store";
+  m.property_label = "fuzz_store";
+  m.variables = {{"t0", 0.0}};
+  for (Transition& t : m.transitions) {
+    t.body = {Assign("t0", Field(EventField::kTimestamp))};
+  }
+  return m;
+}
+
+// `(event.timestamp - t0) >= 100` guard, empty body, single candidate:
+// kGuardElapsedCommit.
+StateMachine GuardElapsedMachine() {
+  StateMachine m = CommitMachine();
+  m.name = "fuzz_guard";
+  m.property_label = "fuzz_guard";
+  m.variables = {{"t0", 0.0}};
+  for (Transition& t : m.transitions) {
+    t.guard = Bin(BinOp::kGe,
+                  Bin(BinOp::kSub, Field(EventField::kTimestamp), Var("t0")),
+                  Const(100));
+  }
+  return m;
+}
+
+using HandlerClass = BatchCompiledMonitor::HandlerClass;
+
+TEST(BatchClassTest, SyntheticShapesClassifyAsIntended) {
+  struct Case {
+    StateMachine machine;
+    HandlerClass expected;
+  };
+  const Case cases[] = {
+      {CommitMachine(), HandlerClass::kCommit},
+      {StoreFieldMachine(), HandlerClass::kStoreFieldCommit},
+      {GuardElapsedMachine(), HandlerClass::kGuardElapsedCommit},
+      {CounterMachine(), HandlerClass::kGeneral},
+  };
+  for (const Case& c : cases) {
+    auto compiled = CompileStateMachine(c.machine);
+    ASSERT_TRUE(compiled.ok()) << c.machine.name;
+    auto shared = std::make_shared<const CompiledMachine>(std::move(compiled).value());
+    BatchCompiledMonitor batch(shared, 1);
+    EXPECT_EQ(batch.ClassOf(0, EventKind::kStartTask, 0), c.expected) << c.machine.name;
+    // Columns no transition triggers on are provably self-loops — and for
+    // the commit-family machines (no anyEvent fallback, start(0) only)
+    // every end-task column is statically dead.
+    EXPECT_EQ(batch.ClassOf(0, EventKind::kEndTask, 0), HandlerClass::kSelfLoop)
+        << c.machine.name;
+    if (c.expected != HandlerClass::kGeneral) {
+      EXPECT_TRUE(batch.ColumnDead(EventKind::kEndTask, 0)) << c.machine.name;
+      EXPECT_TRUE(batch.ColumnDead(EventKind::kEndTask, 7)) << c.machine.name;
+      EXPECT_FALSE(batch.ColumnDead(EventKind::kStartTask, 0)) << c.machine.name;
+    }
+  }
+  // CounterMachine's S1 takes anyEvent, so no column is dead machine-wide.
+  auto compiled = CompileStateMachine(CounterMachine());
+  ASSERT_TRUE(compiled.ok());
+  BatchCompiledMonitor counter(
+      std::make_shared<const CompiledMachine>(std::move(compiled).value()), 1);
+  EXPECT_EQ(counter.dead_column_count(), 0u);
+}
+
+class BatchClassFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchClassFuzzTest, EveryClassKernelMatchesScalarLaneByLane) {
+  constexpr std::uint32_t kLanes = 8;
+  const StateMachine machines[] = {CommitMachine(), StoreFieldMachine(),
+                                   GuardElapsedMachine(), CounterMachine()};
+  for (const StateMachine& machine : machines) {
+    auto c = CompileStateMachine(machine);
+    ASSERT_TRUE(c.ok()) << machine.name;
+    auto shared = std::make_shared<const CompiledMachine>(std::move(c).value());
+    BatchCompiledMonitor batch(shared, kLanes);
+    BatchCompiledMonitor general(shared, kLanes);
+
+    std::vector<std::unique_ptr<CompiledMonitor>> scalar;
+    for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+      auto c2 = CompileStateMachine(machine);
+      ASSERT_TRUE(c2.ok());
+      scalar.push_back(std::make_unique<CompiledMonitor>(std::move(c2).value()));
+    }
+
+    std::vector<Rng> rng;
+    for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+      rng.emplace_back(GetParam() * 0x9E3779B9u + lane + 17);
+    }
+    std::vector<MonitorEvent> events(kLanes);
+    std::vector<const MonitorEvent*> cursors(kLanes, nullptr);
+    std::vector<BatchFailure> failures;
+    std::vector<SimTime> now(kLanes, 0);
+    for (int round = 0; round < 800; ++round) {
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+        if (rng[lane].NextDouble() < 0.1) {
+          cursors[lane] = nullptr;
+          continue;
+        }
+        // Small timestamp increments so the elapsed guard fails often:
+        // both branches of the fused guard kernel get traffic.
+        now[lane] += rng[lane].UniformU64(1, 150);
+        MonitorEvent& e = events[lane];
+        e = MonitorEvent{};
+        e.kind =
+            rng[lane].NextDouble() < 0.7 ? EventKind::kStartTask : EventKind::kEndTask;
+        e.task = static_cast<TaskId>(rng[lane].UniformU64(0, 2));
+        e.timestamp = now[lane];
+        e.path = 1;
+        e.seq = static_cast<std::uint64_t>(round) + 1;
+        cursors[lane] = &e;
+      }
+      failures.clear();
+      batch.StepBatch(cursors.data(), kLanes, &failures);
+      std::size_t fi = 0;
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+        if (cursors[lane] == nullptr) {
+          continue;
+        }
+        MonitorVerdict vs;
+        const bool fs = scalar[lane]->Step(events[lane], &vs);
+        BatchVerdict vg;
+        const bool fg = general.StepLaneGeneral(lane, events[lane], &vg);
+        ASSERT_EQ(fg, fs) << machine.name << " lane " << lane << " round " << round;
+        const bool fb = fi < failures.size() && failures[fi].lane == lane;
+        ASSERT_EQ(fb, fs) << machine.name << " lane " << lane << " round " << round;
+        if (fs) {
+          ASSERT_EQ(failures[fi].action, vs.action) << machine.name;
+          ++fi;
+        }
+        ASSERT_EQ(batch.lane_state(lane), scalar[lane]->current_state())
+            << machine.name << " lane " << lane << " round " << round;
+        for (const auto& [var, unused] : machine.variables) {
+          ASSERT_EQ(batch.LaneVarValue(lane, var), scalar[lane]->VarValue(var))
+              << machine.name << " var " << var << " lane " << lane << " round " << round;
+        }
+      }
+      ASSERT_EQ(fi, failures.size()) << machine.name << " round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchClassFuzzTest,
+                         ::testing::Values(0x21u, 0xFACEu, 0x7777777u));
+
+// Cohort-boundary shapes: the counting-sort partition has three regimes —
+// one dense cohort (all lanes share a state, kernel runs index-free),
+// strided cohorts (alternating states), and singleton cohorts (a cohort
+// of exactly one lane). Each shape is set up deterministically and the
+// stepped result compared against scalar truth.
+TEST(BatchCohortShapeTest, DenseAlternatingAndSingletonCohorts) {
+  constexpr std::uint32_t kLanes = 8;
+  auto c = CompileStateMachine(StoreFieldMachine());
+  ASSERT_TRUE(c.ok());
+  auto shared = std::make_shared<const CompiledMachine>(std::move(c).value());
+
+  MonitorEvent start;
+  start.kind = EventKind::kStartTask;
+  start.task = 0;
+  start.path = 1;
+
+  const auto check_against_scalar = [&](BatchCompiledMonitor& batch,
+                                        const std::vector<int>& prior_steps) {
+    for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+      auto c2 = CompileStateMachine(StoreFieldMachine());
+      ASSERT_TRUE(c2.ok());
+      CompiledMonitor ref(std::move(c2).value());
+      MonitorVerdict verdict;
+      for (int i = 0; i < prior_steps[lane]; ++i) {
+        MonitorEvent e = start;
+        e.timestamp = 10 * (i + 1);
+        ref.Step(e, &verdict);
+      }
+      ASSERT_EQ(batch.lane_state(lane), ref.current_state()) << "lane " << lane;
+      ASSERT_EQ(batch.LaneVarValue(lane, "t0"), ref.VarValue("t0")) << "lane " << lane;
+    }
+  };
+
+  const auto run_shape = [&](const std::vector<int>& warmup) {
+    BatchCompiledMonitor batch(shared, kLanes);
+    std::vector<MonitorEvent> events(kLanes);
+    std::vector<const MonitorEvent*> cursors(kLanes, nullptr);
+    std::vector<BatchFailure> failures;
+    int max_warm = 0;
+    for (const int w : warmup) {
+      max_warm = std::max(max_warm, w);
+    }
+    std::vector<int> steps(kLanes, 0);
+    for (int round = 0; round < max_warm + 1; ++round) {
+      for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+        // Warm up each lane its own number of rounds, then one final round
+        // steps everyone — that final pass is the shaped partition.
+        const bool live = round < warmup[lane] || round == max_warm;
+        if (!live) {
+          cursors[lane] = nullptr;
+          continue;
+        }
+        events[lane] = start;
+        events[lane].timestamp = 10 * (steps[lane] + 1);
+        cursors[lane] = &events[lane];
+        ++steps[lane];
+      }
+      failures.clear();
+      batch.StepBatch(cursors.data(), kLanes, &failures);
+      EXPECT_TRUE(failures.empty());
+    }
+    check_against_scalar(batch, steps);
+  };
+
+  run_shape({0, 0, 0, 0, 0, 0, 0, 0});  // dense: one cohort, all lanes S0
+  run_shape({1, 0, 1, 0, 1, 0, 1, 0});  // alternating: two strided cohorts
+  run_shape({0, 0, 0, 1, 0, 0, 0, 0});  // singleton: lone S1 cohort
+  run_shape({1, 1, 1, 0, 1, 1, 1, 1});  // singleton at the other boundary
+}
+
+// StepBatchLanes (the fleet feed's lane-list entry point) must be exactly
+// StepBatch restricted to the listed lanes: same states, same slots, same
+// failures in the same order — across every app machine, including the
+// path-scoped ones, with lanes randomly dead or out of scope.
+class BatchLaneListFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchLaneListFuzzTest, StepBatchLanesMatchesStepBatch) {
+  constexpr std::uint32_t kLanes = 16;
+  for (FuzzApp& app : FuzzApps()) {
+    auto parsed = SpecParser::Parse(app.spec);
+    ASSERT_TRUE(parsed.ok()) << app.name;
+    auto machines = LowerSpec(parsed.value(), app.graph, {});
+    ASSERT_TRUE(machines.ok()) << app.name;
+    const auto task_count = static_cast<std::uint64_t>(app.graph.task_count());
+    const auto path_count = static_cast<std::uint64_t>(app.graph.path_count());
+
+    for (const StateMachine& machine : machines.value()) {
+      auto c = CompileStateMachine(machine);
+      ASSERT_TRUE(c.ok()) << app.name << "/" << machine.name;
+      auto shared = std::make_shared<const CompiledMachine>(std::move(c).value());
+      BatchCompiledMonitor full(shared, kLanes);
+      BatchCompiledMonitor listed(shared, kLanes);
+      const PathId scope = shared->path_scope;
+
+      Rng rng(GetParam() * 0x51ED2705u + shared->path_scope + 3);
+      std::vector<MonitorEvent> events(kLanes);
+      std::vector<const MonitorEvent*> cursors(kLanes, nullptr);
+      std::vector<std::uint32_t> lane_list;
+      std::vector<BatchFailure> f_full, f_listed;
+      SimTime now = 0;
+      for (int round = 0; round < 600; ++round) {
+        lane_list.clear();
+        for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+          if (rng.NextDouble() < 0.2) {
+            cursors[lane] = nullptr;
+            continue;
+          }
+          now += rng.UniformU64(1, kMinute);
+          MonitorEvent& e = events[lane];
+          e = MonitorEvent{};
+          e.kind = rng.NextDouble() < 0.5 ? EventKind::kStartTask : EventKind::kEndTask;
+          e.task = static_cast<TaskId>(rng.UniformU64(0, task_count - 1));
+          e.timestamp = now;
+          e.path = static_cast<PathId>(rng.UniformU64(1, path_count));
+          e.seq = static_cast<std::uint64_t>(round) + 1;
+          e.has_dep_data = e.kind == EventKind::kEndTask && rng.NextDouble() < 0.5;
+          e.dep_data = rng.UniformDouble(-10.0, 50.0);
+          e.energy_fraction = rng.NextDouble();
+          cursors[lane] = &e;
+          // The fleet feed's filter: live lanes whose event is in scope,
+          // in ascending lane order.
+          if (scope == kNoPath || e.path == scope) {
+            lane_list.push_back(lane);
+          }
+        }
+        f_full.clear();
+        f_listed.clear();
+        full.StepBatch(cursors.data(), kLanes, &f_full);
+        listed.StepBatchLanes(cursors.data(), lane_list.data(),
+                              static_cast<std::uint32_t>(lane_list.size()), &f_listed);
+        ASSERT_EQ(f_full.size(), f_listed.size())
+            << app.name << "/" << machine.name << " round " << round;
+        for (std::size_t i = 0; i < f_full.size(); ++i) {
+          ASSERT_EQ(f_full[i].lane, f_listed[i].lane) << app.name << "/" << machine.name;
+          ASSERT_EQ(f_full[i].action, f_listed[i].action);
+          ASSERT_EQ(f_full[i].target_path, f_listed[i].target_path);
+        }
+        for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+          ASSERT_EQ(full.lane_state(lane), listed.lane_state(lane))
+              << app.name << "/" << machine.name << " lane " << lane << " round " << round;
+          for (const auto& [var, unused] : machine.variables) {
+            ASSERT_EQ(full.LaneVarValue(lane, var), listed.LaneVarValue(lane, var))
+                << app.name << "/" << machine.name << " var " << var << " lane " << lane;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchLaneListFuzzTest,
+                         ::testing::Values(0x31u, 0xC0FFEEu));
+
+TEST(BatchTrafficTest, CountersAttributeEventsToDispatchColumns) {
+  auto c = CompileStateMachine(CommitMachine());
+  ASSERT_TRUE(c.ok());
+  auto shared = std::make_shared<const CompiledMachine>(std::move(c).value());
+  BatchCompiledMonitor batch(shared, 2);
+  EXPECT_TRUE(batch.ClassTraffic().empty() ||
+              batch.ClassTraffic() == std::vector<std::uint64_t>(5, 0));
+  batch.EnableTraffic();
+
+  MonitorEvent start;
+  start.kind = EventKind::kStartTask;
+  start.task = 0;
+  start.path = 1;
+  MonitorEvent other;
+  other.kind = EventKind::kEndTask;
+  other.task = 5;  // above max_task: lands in the padded any-task column
+  other.path = 1;
+  const MonitorEvent* cursors[2];
+  std::vector<BatchFailure> failures;
+  cursors[0] = cursors[1] = &start;
+  batch.StepBatch(cursors, 2, &failures);  // both lanes commit S0 -> S1
+  batch.StepBatch(cursors, 2, &failures);  // both lanes commit S1 -> S0
+  cursors[0] = cursors[1] = &other;
+  batch.StepBatch(cursors, 2, &failures);  // both lanes self-loop
+
+  const std::vector<std::uint64_t> by_class = batch.ClassTraffic();
+  ASSERT_EQ(by_class.size(), BatchCompiledMonitor::kNumClasses);
+  EXPECT_EQ(by_class[static_cast<std::size_t>(HandlerClass::kCommit)], 4u);
+  EXPECT_EQ(by_class[static_cast<std::size_t>(HandlerClass::kSelfLoop)], 2u);
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : by_class) {
+    total += n;
+  }
+  EXPECT_EQ(total, 6u);  // every stepped event attributed exactly once
+}
+
 // The MonitorSet-level view: the compiled backend builds one monitor per
 // property and produces the same verdict stream as the interpreted set.
 TEST(CompiledBackendTest, BuildMonitorSetParity) {

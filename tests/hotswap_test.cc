@@ -373,5 +373,72 @@ TEST(BatchMigrationTest, ApplyMigrationFromCarriesAndResetsLanes) {
   EXPECT_DOUBLE_EQ(reset.LaneVarValue(0, "i"), machine->initial_slots[0]);
 }
 
+// Regression for the cohort-partitioned StepBatch: the counting sort
+// inside StepBatch permutes lanes into state cohorts while stepping, and
+// ApplyMigrationFrom reads the per-lane arrays afterwards. If the
+// partition ever left lane state or slots scrambled, the migrated batch
+// would disagree with per-lane scalar replicas that never get permuted.
+TEST(BatchMigrationTest, ApplyMigrationFromAfterCohortStepping) {
+  constexpr std::uint32_t kLanes = 8;
+  HealthApp app = BuildHealthApp();
+  const MonitorImage image = MustImage(kSpecAccel, app.graph, 1);
+  auto machine = std::shared_ptr<const CompiledMachine>(image.artifact,
+                                                        &image.artifact->compiled[0]);
+
+  BatchCompiledMonitor old_batch(machine, kLanes);
+  std::vector<BatchCompiledMonitor> scalar_like;  // 1-lane references
+  for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+    scalar_like.emplace_back(machine, 1);
+  }
+
+  // Stagger the lanes so every StepBatch pass partitions into multiple
+  // cohorts: lane L only steps on rounds >= L, so after the warmup the
+  // lanes sit in a mix of states with distinct slot values.
+  MonitorEvent start;
+  start.kind = EventKind::kStartTask;
+  start.task = app.accel;
+  start.path = app.path_resp;
+  std::vector<MonitorEvent> events(kLanes);
+  std::vector<const MonitorEvent*> cursors(kLanes, nullptr);
+  std::vector<BatchFailure> failures;
+  for (std::uint32_t round = 0; round < kLanes; ++round) {
+    for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+      if (round < lane) {
+        cursors[lane] = nullptr;
+        continue;
+      }
+      events[lane] = start;
+      events[lane].timestamp = (round + 1) * 100;
+      events[lane].seq = round + 1;
+      cursors[lane] = &events[lane];
+      BatchVerdict verdict;
+      scalar_like[lane].StepLaneGeneral(0, events[lane], &verdict);
+    }
+    failures.clear();
+    old_batch.StepBatch(cursors.data(), kLanes, &failures);
+  }
+
+  // Identity migration into a fresh batch must land every lane exactly
+  // where its never-permuted reference sits.
+  std::vector<std::uint16_t> identity_states;
+  for (std::size_t s = 0; s < machine->state_names.size(); ++s) {
+    identity_states.push_back(static_cast<std::uint16_t>(s));
+  }
+  std::vector<int> identity_slots;
+  for (std::size_t v = 0; v < machine->var_names.size(); ++v) {
+    identity_slots.push_back(static_cast<int>(v));
+  }
+  BatchCompiledMonitor carried(machine, kLanes);
+  carried.ApplyMigrationFrom(old_batch, identity_states, identity_slots);
+  for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+    EXPECT_EQ(carried.lane_state(lane), scalar_like[lane].lane_state(0))
+        << "lane " << lane;
+    for (const std::string& var : machine->var_names) {
+      EXPECT_EQ(carried.LaneVarValue(lane, var), scalar_like[lane].LaneVarValue(0, var))
+          << "lane " << lane << " var " << var;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace artemis

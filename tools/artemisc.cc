@@ -1517,6 +1517,9 @@ int RunFleetCmd(const Args& args) {
   spec.seed = args.fleet_seed;
   spec.tile = args.fleet_tile;
   spec.collect_obs = args.sweep_stats;
+  // --stats in batch mode also profiles the dispatch-entry traffic (which
+  // (state, kind, task) entries the fleet's events actually hit).
+  spec.collect_traffic = args.sweep_stats && spec.monitor == "batch";
   if (!args.sweep_charges.empty()) {
     spec.charges.clear();
     for (const std::string& schedule : SplitCommaList(args.sweep_charges)) {

@@ -28,32 +28,39 @@
 #      exit 0 (the batch-VM differential fuzz runs in stage 1/2/9 via
 #      compiled_monitor_test; fleet_test covers shard/tile determinism);
 #      the same infeasible deployment must be refused with exit 2.
-#   8. clang-tidy (bugprone-*/performance-*/concurrency-*, .clang-tidy at
+#   8. SIMD parity gate: a second release build with -DARTEMIS_SIMD=ON
+#      (explicit SSE2/NEON batch kernels instead of the portable loops)
+#      must pass the full tier-1 suite — including the batch-VM
+#      differential fuzz and the hotswap ApplyMigrationFrom
+#      permutation-correctness regression — and `artemisc fleet` output
+#      must be byte-identical between the SIMD and portable builds.
+#   9. clang-tidy (bugprone-*/performance-*/concurrency-*, .clang-tidy at
 #      the repo root) over src/ and tools/; skipped with a notice when
 #      clang-tidy is not installed.
-#   9. ThreadSanitizer build + tier-1 ctest suite, via
+#  10. ThreadSanitizer build + tier-1 ctest suite, via
 #      tools/run_tsan_tests.sh (races in the sweep engine's thread pool,
 #      the compiled-spec cache, and the fleet engine's shard workers —
 #      fleet_test runs its sharded configurations under TSan here).
 #
-# Usage: tools/ci.sh [release-build-dir [sanitize-build-dir [tsan-build-dir]]]
-#        (defaults: build-ci, build-sanitize, build-tsan)
+# Usage: tools/ci.sh [release-build-dir [sanitize-build-dir [tsan-build-dir [simd-build-dir]]]]
+#        (defaults: build-ci, build-sanitize, build-tsan, build-simd)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 release_dir="${1:-${repo_root}/build-ci}"
 sanitize_dir="${2:-${repo_root}/build-sanitize}"
 tsan_dir="${3:-${repo_root}/build-tsan}"
+simd_dir="${4:-${repo_root}/build-simd}"
 
-echo "== [1/9] Release build + tests =="
+echo "== [1/10] Release build + tests =="
 cmake -B "${release_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${release_dir}" -j "$(nproc)"
 ctest --test-dir "${release_dir}" --output-on-failure
 
-echo "== [2/9] Sanitized build + tests =="
+echo "== [2/10] Sanitized build + tests =="
 "${repo_root}/tools/run_sanitized_tests.sh" "${sanitize_dir}"
 
-echo "== [3/9] Static analysis over example specs =="
+echo "== [3/10] Static analysis over example specs =="
 artemisc="${release_dir}/tools/artemisc"
 
 check_clean() {
@@ -115,7 +122,7 @@ check_dirty "bad/swap_unknown_rule.prop (swap)" ART015 "${specs}/health.prop" \
 check_dirty "health.prop (swap, 1 uJ window)" ART016 "${specs}/health.prop" \
   --app health --spec2 "${specs}/health.prop" --budgets 1
 
-echo "== [4/9] Golden-trace regression =="
+echo "== [4/10] Golden-trace regression =="
 # The exported observability stream is deterministic: a fresh run of the
 # canonical scenario must reproduce the checked-in golden byte-for-byte.
 trace_tmp="$(mktemp /tmp/artemis_trace.XXXXXX.jsonl)"
@@ -169,7 +176,7 @@ if ! "${artemisc}" forensics audit --app health --spec "${specs}/health.prop" \
 fi
 echo "ok: flight log audits clean across the swap epoch"
 
-echo "== [5/9] Docs link check =="
+echo "== [5/10] Docs link check =="
 # Every relative .md link in the top-level docs and docs/ must resolve.
 # Matches [text](path.md) and [text](path.md#anchor); external http(s)
 # links are skipped.
@@ -195,7 +202,7 @@ if [[ "${link_errors}" -ne 0 ]]; then
 fi
 echo "ok: all relative .md links resolve"
 
-echo "== [6/9] Sweep determinism smoke =="
+echo "== [6/10] Sweep determinism smoke =="
 # The parallel sweep engine's export must not depend on the worker count.
 sweep_j1="$(mktemp /tmp/artemis_sweep_j1.XXXXXX.json)"
 sweep_j4="$(mktemp /tmp/artemis_sweep_j4.XXXXXX.json)"
@@ -223,7 +230,7 @@ if [[ "${rc}" -ne 2 ]]; then
 fi
 echo "ok: infeasible sweep deployment refused with exit 2"
 
-echo "== [7/9] Fleet determinism smoke =="
+echo "== [7/10] Fleet determinism smoke =="
 # The sharded fleet engine's export must not depend on the shard count.
 fleet_s1="$(mktemp /tmp/artemis_fleet_s1.XXXXXX.json)"
 fleet_s4="$(mktemp /tmp/artemis_fleet_s4.XXXXXX.json)"
@@ -250,7 +257,32 @@ if [[ "${rc}" -ne 2 ]]; then
 fi
 echo "ok: infeasible fleet deployment refused with exit 2"
 
-echo "== [8/9] clang-tidy static analysis =="
+echo "== [8/10] SIMD parity gate =="
+# Same sources, explicit SSE2/NEON batch kernels: the full tier-1 suite
+# must pass (the batch-VM differential fuzz in compiled_monitor_test runs
+# per-class and lane-list parity under SIMD here, and hotswap_test re-runs
+# the ApplyMigrationFrom permutation-correctness regression against the
+# cohort-partitioned stepper), and fleet output must be byte-identical to
+# the portable build's.
+cmake -B "${simd_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release -DARTEMIS_SIMD=ON
+cmake --build "${simd_dir}" -j "$(nproc)"
+ctest --test-dir "${simd_dir}" --output-on-failure
+fleet_simd="$(mktemp /tmp/artemis_fleet_simd.XXXXXX.json)"
+fleet_portable="$(mktemp /tmp/artemis_fleet_portable.XXXXXX.json)"
+trap 'rm -f "${trace_tmp}" "${flight_tmp}" "${sweep_j1}" "${sweep_j4}" \
+  "${fleet_s1}" "${fleet_s4}" "${fleet_simd}" "${fleet_portable}"' EXIT
+"${artemisc}" fleet --app health --devices 500 --iterations 1 \
+  --charges continuous,6min --shards 2 --stats --format json --out "${fleet_portable}"
+"${simd_dir}/tools/artemisc" fleet --app health --devices 500 --iterations 1 \
+  --charges continuous,6min --shards 2 --stats --format json --out "${fleet_simd}"
+if ! diff -q "${fleet_portable}" "${fleet_simd}" > /dev/null; then
+  echo "CI FAIL: fleet JSON differs between ARTEMIS_SIMD=ON and portable builds" >&2
+  diff "${fleet_portable}" "${fleet_simd}" >&2 || true
+  exit 1
+fi
+echo "ok: fleet JSON is byte-identical between SIMD and portable builds"
+
+echo "== [9/10] clang-tidy static analysis =="
 if command -v clang-tidy > /dev/null 2>&1; then
   # Reuse the release build's compile commands; .clang-tidy at the repo
   # root scopes the checks (bugprone-*, performance-*, concurrency-*).
@@ -271,7 +303,7 @@ else
   echo "skip: clang-tidy not installed (stage runs where the toolchain provides it)"
 fi
 
-echo "== [9/9] ThreadSanitizer build + tests =="
+echo "== [10/10] ThreadSanitizer build + tests =="
 "${repo_root}/tools/run_tsan_tests.sh" "${tsan_dir}"
 
 echo "CI: all stages passed"
